@@ -1,0 +1,141 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+// separator strategy (planar cycles vs center bag vs greedy on the same
+// graphs), tree-decomposition heuristic, oracle mode, and portal density.
+package pathsep_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathsep/internal/core"
+	"pathsep/internal/embed"
+	"pathsep/internal/graph"
+	"pathsep/internal/oracle"
+	"pathsep/internal/routing"
+	"pathsep/internal/treedecomp"
+)
+
+// Ablation A: strategy choice on the same planar graph. The planar
+// strategy is the principled one; greedy is the fallback — compare both
+// cost and resulting k.
+
+func benchStrategyOnGrid(b *testing.B, strat core.Strategy, rot bool) {
+	rng := rand.New(rand.NewSource(31))
+	r := embed.Grid(24, 24, graph.UniformWeights(1, 4), rng)
+	opt := core.Options{Strategy: strat}
+	if rot {
+		opt.Rot = r
+	}
+	b.ResetTimer()
+	maxK := 0
+	for i := 0; i < b.N; i++ {
+		dec, err := core.Decompose(r.G, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxK = dec.MaxK
+	}
+	b.ReportMetric(float64(maxK), "maxK")
+}
+
+func BenchmarkAblationStrategyPlanar(b *testing.B) {
+	benchStrategyOnGrid(b, core.Planar{}, true)
+}
+
+func BenchmarkAblationStrategyGreedy(b *testing.B) {
+	benchStrategyOnGrid(b, core.Greedy{}, false)
+}
+
+func BenchmarkAblationStrategyCenterBag(b *testing.B) {
+	benchStrategyOnGrid(b, core.CenterBag{}, false)
+}
+
+// Ablation B: tree-decomposition heuristic (width vs time).
+
+func benchHeuristic(b *testing.B, h treedecomp.Heuristic) {
+	rng := rand.New(rand.NewSource(32))
+	g := graph.PartialKTree(300, 4, 0.3, graph.UnitWeights(), rng)
+	b.ResetTimer()
+	width := 0
+	for i := 0; i < b.N; i++ {
+		width = treedecomp.Build(g, h).Width()
+	}
+	b.ReportMetric(float64(width), "width")
+}
+
+func BenchmarkAblationMinDegree(b *testing.B) { benchHeuristic(b, treedecomp.MinDegree) }
+func BenchmarkAblationMinFill(b *testing.B)   { benchHeuristic(b, treedecomp.MinFill) }
+
+// Ablation C: oracle mode (construction cost vs guarantee).
+
+func benchOracleMode(b *testing.B, mode oracle.Mode) {
+	rng := rand.New(rand.NewSource(33))
+	r := embed.Grid(16, 16, graph.UniformWeights(1, 4), rng)
+	dec, err := core.Decompose(r.G, core.Options{Strategy: core.Auto{}, Rot: r})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	space := 0
+	for i := 0; i < b.N; i++ {
+		o, err := oracle.Build(dec, oracle.Options{Epsilon: 0.25, Mode: mode})
+		if err != nil {
+			b.Fatal(err)
+		}
+		space = o.SpacePortals()
+	}
+	b.ReportMetric(float64(space), "spaceEntries")
+}
+
+func BenchmarkAblationOracleExact(b *testing.B)  { benchOracleMode(b, oracle.CoverExact) }
+func BenchmarkAblationOraclePortal(b *testing.B) { benchOracleMode(b, oracle.CoverPortal) }
+
+// Ablation D: routing portal density (table size vs stretch is reported
+// by E6; here the build cost).
+
+func benchRouterPortals(b *testing.B, portals int) {
+	rng := rand.New(rand.NewSource(34))
+	r := embed.Grid(16, 16, graph.UniformWeights(1, 4), rng)
+	dec, err := core.Decompose(r.G, core.Options{Strategy: core.Auto{}, Rot: r})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	words := 0
+	for i := 0; i < b.N; i++ {
+		router, err := routing.Build(dec, routing.Options{Epsilon: 0.25, PortalsPerPath: portals})
+		if err != nil {
+			b.Fatal(err)
+		}
+		words = router.MaxTableWords()
+	}
+	b.ReportMetric(float64(words), "maxTableWords")
+}
+
+func BenchmarkAblationRouterPortals4(b *testing.B)  { benchRouterPortals(b, 4) }
+func BenchmarkAblationRouterPortals16(b *testing.B) { benchRouterPortals(b, 16) }
+
+// Ablation E: epsilon sweep for the exact-cover oracle (label growth).
+
+func benchOracleEps(b *testing.B, eps float64) {
+	rng := rand.New(rand.NewSource(35))
+	r := embed.Grid(14, 14, graph.UniformWeights(1, 4), rng)
+	dec, err := core.Decompose(r.G, core.Options{Strategy: core.Auto{}, Rot: r})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	maxLbl := 0
+	for i := 0; i < b.N; i++ {
+		o, err := oracle.Build(dec, oracle.Options{Epsilon: eps, Mode: oracle.CoverExact})
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxLbl = o.MaxLabelPortals()
+	}
+	b.ReportMetric(float64(maxLbl), "maxLabelPortals")
+}
+
+func BenchmarkAblationEps50(b *testing.B) { benchOracleEps(b, 0.5) }
+func BenchmarkAblationEps10(b *testing.B) { benchOracleEps(b, 0.1) }
+func BenchmarkAblationEps02(b *testing.B) { benchOracleEps(b, 0.02) }

@@ -1,0 +1,53 @@
+// Command experiments regenerates every experiment table (E1–E10 of
+// EXPERIMENTS.md): one table per measurable claim of the paper.
+//
+// Usage:
+//
+//	experiments [-quick] [-seed N] [-only E4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pathsep/internal/exp"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced instance sizes")
+	seed := flag.Int64("seed", 1, "random seed")
+	only := flag.String("only", "", "run a single experiment (E1..E10)")
+	flag.Parse()
+
+	cfg := exp.Config{Quick: *quick, Seed: *seed}
+	type entry struct {
+		name string
+		run  func(exp.Config) *exp.Table
+	}
+	all := []entry{
+		{"E1", exp.E1Separator},
+		{"E2", exp.E2Treewidth},
+		{"E3", exp.E3StrongLB},
+		{"E4", exp.E4Oracle},
+		{"E5", exp.E5Labels},
+		{"E6", exp.E6Routing},
+		{"E7", exp.E7SmallWorld},
+		{"E8", exp.E8Note2},
+		{"E9", exp.E9Doubling},
+		{"E10", exp.E10Sparse},
+	}
+	ran := 0
+	for _, e := range all {
+		if *only != "" && !strings.EqualFold(*only, e.name) {
+			continue
+		}
+		e.run(cfg).Fprint(os.Stdout)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *only)
+		os.Exit(1)
+	}
+}

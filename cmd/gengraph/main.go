@@ -1,0 +1,80 @@
+// Command gengraph writes synthetic graphs from the library's generators
+// as text edge lists on stdout.
+//
+// Usage:
+//
+//	gengraph -family grid -n 1024 [-k 3] [-seed 1] [-wmin 1 -wmax 1]
+//
+// Families: grid, apollonian, outerplanar, tree, ktree, mesh3d,
+// meshuniversal, bipartite, gnm, hypercube, sparsehard.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"pathsep/internal/embed"
+	"pathsep/internal/graph"
+	"pathsep/internal/hardness"
+)
+
+func main() {
+	family := flag.String("family", "grid", "graph family")
+	n := flag.Int("n", 256, "target vertex count")
+	k := flag.Int("k", 3, "width/side parameter where applicable")
+	seed := flag.Int64("seed", 1, "random seed")
+	wmin := flag.Float64("wmin", 1, "min edge weight")
+	wmax := flag.Float64("wmax", 1, "max edge weight (== wmin for unit)")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var w graph.WeightFn
+	if *wmax <= *wmin {
+		w = func(_, _ int, _ *rand.Rand) float64 { return *wmin }
+	} else {
+		w = graph.UniformWeights(*wmin, *wmax)
+	}
+
+	var g *graph.Graph
+	switch *family {
+	case "grid":
+		side := int(math.Sqrt(float64(*n)))
+		g = embed.Grid(side, side, w, rng).G
+	case "apollonian":
+		g = embed.Apollonian(*n, w, rng).G
+	case "outerplanar":
+		g = embed.Outerplanar(*n, *n/2, w, rng).G
+	case "tree":
+		g = graph.RandomTree(*n, w, rng)
+	case "ktree":
+		g = graph.KTree(*n, *k, w, rng)
+	case "mesh3d":
+		side := int(math.Cbrt(float64(*n)))
+		g = graph.Mesh3D(side, side, side, w, rng)
+	case "meshuniversal":
+		side := int(math.Sqrt(float64(*n - 1)))
+		g = graph.MeshUniversal(side)
+	case "bipartite":
+		g = graph.CompleteBipartite(*k, *n-*k, w, rng)
+	case "gnm":
+		g = graph.ConnectedGNM(*n, 3**n, w, rng)
+	case "hypercube":
+		d := 0
+		for 1<<(d+1) <= *n {
+			d++
+		}
+		g = graph.Hypercube(d, w, rng)
+	case "sparsehard":
+		g = hardness.SparseHard(*n)
+	default:
+		fmt.Fprintf(os.Stderr, "gengraph: unknown family %q\n", *family)
+		os.Exit(1)
+	}
+	if err := g.WriteText(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "gengraph: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,85 @@
+// Command inspect reads a graph, decomposes it, and renders the k-path
+// separator decomposition tree as indented text: per node, the subgraph
+// size, strategy, phases, and the separator paths themselves.
+//
+// Usage:
+//
+//	gengraph -family apollonian -n 60 | inspect -maxdepth 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"pathsep/internal/core"
+	"pathsep/internal/graph"
+)
+
+func main() {
+	in := flag.String("in", "", "input file (default stdin)")
+	maxDepth := flag.Int("maxdepth", 4, "deepest level to print (-1 = all)")
+	showPaths := flag.Bool("paths", true, "print the separator paths")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	g, err := graph.Read(r)
+	if err != nil {
+		fail(err)
+	}
+	dec, err := core.Decompose(g, core.Options{Strategy: core.Auto{}})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("graph n=%d m=%d | decomposition: %d nodes, depth %d, maxK %d\n\n",
+		g.N(), g.M(), len(dec.Nodes), dec.Depth, dec.MaxK)
+
+	var render func(id, depth int)
+	render = func(id, depth int) {
+		if *maxDepth >= 0 && depth > *maxDepth {
+			return
+		}
+		nd := dec.Nodes[id]
+		indent := strings.Repeat("  ", depth)
+		fmt.Printf("%s[node %d] n=%d strategy=%s", indent, nd.ID, nd.Sub.G.N(), nd.StrategyName)
+		if nd.Sep != nil {
+			fmt.Printf(" k=%d phases=%d", nd.Sep.NumPaths(), nd.Sep.NumPhases())
+		}
+		fmt.Println()
+		if nd.Sep != nil && *showPaths {
+			rootSep := nd.SepInRootIDs()
+			for pi, ph := range rootSep.Phases {
+				for qi, p := range ph.Paths {
+					vs := p.Vertices
+					preview := fmt.Sprint(vs)
+					if len(vs) > 12 {
+						preview = fmt.Sprintf("%v...(+%d)", vs[:12], len(vs)-12)
+					}
+					fmt.Printf("%s  P%d.%d (%d vertices): %s\n", indent, pi, qi, len(vs), preview)
+				}
+			}
+		}
+		for _, c := range nd.Children {
+			render(c, depth+1)
+		}
+	}
+	render(dec.Root().ID, 0)
+	if *maxDepth >= 0 && dec.Depth > *maxDepth {
+		fmt.Printf("\n(levels below %d elided; pass -maxdepth -1 for all)\n", *maxDepth)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "inspect: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,104 @@
+// Command oracle builds the Theorem 2 distance oracle over a graph read
+// from stdin (or -in), runs random queries, and reports stretch, label
+// sizes and query latency.
+//
+// Usage:
+//
+//	gengraph -family ktree -n 400 | oracle -eps 0.2 -mode exact -queries 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"time"
+
+	"pathsep/internal/core"
+	"pathsep/internal/graph"
+	"pathsep/internal/oracle"
+	"pathsep/internal/shortest"
+)
+
+func main() {
+	in := flag.String("in", "", "input file (default stdin)")
+	eps := flag.Float64("eps", 0.25, "epsilon of the (1+eps) approximation")
+	mode := flag.String("mode", "exact", "exact|portal")
+	queries := flag.Int("queries", 1000, "random queries to run")
+	audit := flag.Int("audit", 200, "queries to audit against Dijkstra")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	g, err := graph.Read(r)
+	if err != nil {
+		fail(err)
+	}
+	m := oracle.CoverExact
+	if *mode == "portal" {
+		m = oracle.CoverPortal
+	}
+
+	start := time.Now()
+	dec, err := core.Decompose(g, core.Options{Strategy: core.Auto{}})
+	if err != nil {
+		fail(err)
+	}
+	decTime := time.Since(start)
+	start = time.Now()
+	o, err := oracle.Build(dec, oracle.Options{Epsilon: *eps, Mode: m})
+	if err != nil {
+		fail(err)
+	}
+	buildTime := time.Since(start)
+
+	rng := rand.New(rand.NewSource(*seed))
+	start = time.Now()
+	for i := 0; i < *queries; i++ {
+		o.Query(rng.Intn(g.N()), rng.Intn(g.N()))
+	}
+	qTime := time.Since(start) / time.Duration(max(1, *queries))
+
+	worst, sum, count := 1.0, 0.0, 0
+	for i := 0; i < *audit; i++ {
+		u, v := rng.Intn(g.N()), rng.Intn(g.N())
+		if u == v {
+			continue
+		}
+		d := shortest.Dijkstra(g, u).Dist[v]
+		if math.IsInf(d, 1) || d == 0 {
+			continue
+		}
+		ratio := o.Query(u, v) / d
+		if ratio > worst {
+			worst = ratio
+		}
+		sum += ratio
+		count++
+	}
+
+	fmt.Printf("graph: n=%d m=%d\n", g.N(), g.M())
+	fmt.Printf("decompose: %v  (maxK=%d depth=%d)\n", decTime.Round(time.Millisecond), dec.MaxK, dec.Depth)
+	fmt.Printf("build: %v  mode=%s eps=%g\n", buildTime.Round(time.Millisecond), *mode, *eps)
+	fmt.Printf("space: %d portal entries, max label %d portals\n", o.SpacePortals(), o.MaxLabelPortals())
+	fmt.Printf("query: %v/query over %d queries\n", qTime, *queries)
+	if count > 0 {
+		fmt.Printf("stretch: max=%.4f mean=%.4f over %d audited pairs (bound 1+eps=%.4f)\n",
+			worst, sum/float64(count), count, 1+*eps)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "oracle: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,64 @@
+// Command smallworld runs the Section 4 small-world experiment on a
+// grid: augments it with each long-range distribution and reports mean
+// greedy-routing hops (Theorem 3's measured quantity).
+//
+// Usage:
+//
+//	smallworld -side 24 -trials 200 [-weighted]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"pathsep/internal/core"
+	"pathsep/internal/embed"
+	"pathsep/internal/graph"
+	"pathsep/internal/smallworld"
+)
+
+func main() {
+	side := flag.Int("side", 24, "grid side length")
+	trials := flag.Int("trials", 200, "greedy routing trials per model")
+	seed := flag.Int64("seed", 1, "random seed")
+	weighted := flag.Bool("weighted", false, "random edge weights in [1,8)")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	w := graph.UnitWeights()
+	if *weighted {
+		w = graph.UniformWeights(1, 8)
+	}
+	grid := embed.Grid(*side, *side, w, rng)
+	dec, err := core.Decompose(grid.G, core.Options{Strategy: core.Auto{}, Rot: grid})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "smallworld: %v\n", err)
+		os.Exit(1)
+	}
+	n := grid.G.N()
+	fmt.Printf("grid %dx%d (n=%d), decomposition maxK=%d depth=%d\n", *side, *side, n, dec.MaxK, dec.Depth)
+	fmt.Printf("reference: log2(n)^2 = %.1f\n", math.Pow(math.Log2(float64(n)), 2))
+	fmt.Println("model               meanHops  maxHops  delivered")
+
+	report := func(name string, a *smallworld.Augmented) {
+		st := smallworld.Experiment(a, *trials, rng, nil)
+		fmt.Printf("%-18s  %8.1f  %7d  %d/%d\n", name, st.MeanHops, st.MaxHops, st.Delivered, st.Trials)
+	}
+	for _, model := range []smallworld.Model{
+		smallworld.ModelPathSeparator,
+		smallworld.ModelClosestSeparator,
+		smallworld.ModelUniform,
+		smallworld.ModelNone,
+	} {
+		a, err := smallworld.Augment(dec, model, rng)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "smallworld: %v\n", err)
+			os.Exit(1)
+		}
+		report(model.String(), a)
+	}
+	report("kleinberg", smallworld.AugmentKleinbergGrid(grid.G, *side, *side, rng))
+}

@@ -1,0 +1,74 @@
+// P2proute: compact routing in a peer-to-peer-style overlay. The overlay
+// is a random 3-tree (bounded-treewidth graphs model structured overlay
+// topologies); each peer holds only its routing table and knows targets
+// by their short address labels. Packets are forwarded hop-by-hop; we
+// audit delivery, route stretch, and the table/address sizes that make
+// the scheme "compact".
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"pathsep"
+	"pathsep/internal/shortest"
+)
+
+func main() {
+	const peers = 600
+	rng := rand.New(rand.NewSource(2026))
+
+	// Link latencies 5..50 ms.
+	overlay := pathsep.NewKTree(peers, 3, pathsep.UniformWeights(5, 50), rng)
+	fmt.Printf("overlay: %d peers, %d links\n", overlay.N(), overlay.M())
+
+	dec, err := pathsep.Decompose(overlay, pathsep.Options{Strategy: pathsep.StrategyCenterBag})
+	if err != nil {
+		log.Fatal(err)
+	}
+	router, err := pathsep.NewRouter(dec, pathsep.RouterOptions{Epsilon: 0.25})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("routing state: max table %d words, max address %d words, total %d words\n",
+		router.MaxTableWords(), router.MaxAddrWords(), router.SpaceWords())
+	fmt.Printf("(full routing tables would need %d words per peer)\n\n", peers)
+
+	const trials = 400
+	delivered, worst, sum, measured := 0, 1.0, 0.0, 0
+	var worstPair [2]int
+	for i := 0; i < trials; i++ {
+		s, t := rng.Intn(peers), rng.Intn(peers)
+		if s == t {
+			delivered++
+			continue
+		}
+		path, ok := router.Route(s, t, 50*peers)
+		if !ok {
+			fmt.Printf("UNDELIVERED %d -> %d\n", s, t)
+			continue
+		}
+		delivered++
+		d := shortest.Dijkstra(overlay, s).Dist[t]
+		if w := router.RouteWeight(path); d > 0 && !math.IsInf(w, 1) {
+			ratio := w / d
+			sum += ratio
+			measured++
+			if ratio > worst {
+				worst = ratio
+				worstPair = [2]int{s, t}
+			}
+		}
+	}
+	fmt.Printf("delivered %d/%d packets\n", delivered, trials)
+	fmt.Printf("latency stretch over %d measured pairs: mean %.3f, worst %.3f (peers %d -> %d)\n",
+		measured, sum/float64(max(1, measured)), worst, worstPair[0], worstPair[1])
+
+	// Show one route end to end.
+	s, t := 17, peers-5
+	path, _ := router.Route(s, t, 50*peers)
+	fmt.Printf("\nsample route %d -> %d (%d hops, %.0f ms vs %.0f ms optimal):\n  %v\n",
+		s, t, len(path)-1, router.RouteWeight(path), shortest.Dijkstra(overlay, s).Dist[t], path)
+}

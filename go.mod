@@ -1,0 +1,3 @@
+module pathsep
+
+go 1.22

@@ -1,0 +1,344 @@
+// Package baseline provides the comparison oracles the path-separator
+// oracle is benchmarked against: exact Dijkstra-on-demand, exact all-pairs
+// (small n), ALT landmark lower bounds, and a Thorup–Zwick approximate
+// distance oracle for general graphs (stretch 2k-1).
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"pathsep/internal/graph"
+	"pathsep/internal/shortest"
+)
+
+// Exact answers queries with a fresh Dijkstra run: zero space, O(m log n)
+// query time — the "no oracle" end of the trade-off curve.
+type Exact struct {
+	G *graph.Graph
+}
+
+// Query returns the exact distance.
+func (e *Exact) Query(u, v int) float64 {
+	if u == v {
+		return 0
+	}
+	return shortest.Dijkstra(e.G, u).Dist[v]
+}
+
+// APSP stores all pairwise distances: O(n^2) space, O(1) query — the
+// other end of the trade-off curve. Build only for small n.
+type APSP struct {
+	n    int
+	dist []float64
+}
+
+// BuildAPSP computes all-pairs distances by n Dijkstra runs.
+func BuildAPSP(g *graph.Graph) *APSP {
+	n := g.N()
+	a := &APSP{n: n, dist: make([]float64, n*n)}
+	for u := 0; u < n; u++ {
+		tr := shortest.Dijkstra(g, u)
+		copy(a.dist[u*n:(u+1)*n], tr.Dist)
+	}
+	return a
+}
+
+// Query returns the exact distance in O(1).
+func (a *APSP) Query(u, v int) float64 { return a.dist[u*a.n+v] }
+
+// SpaceEntries returns the number of stored distances.
+func (a *APSP) SpaceEntries() int { return a.n * a.n }
+
+// ALT stores distances to a set of landmark vertices and answers with the
+// triangle-inequality upper bound min over landmarks of d(u,l)+d(l,v).
+// (The classical ALT lower bound |d(u,l)-d(l,v)| is also available.)
+type ALT struct {
+	n         int
+	landmarks []int
+	dist      [][]float64 // dist[i][v] = d(landmark i, v)
+}
+
+// BuildALT picks k landmarks (farthest-point greedy from a random start)
+// and stores their distance vectors.
+func BuildALT(g *graph.Graph, k int, rng *rand.Rand) *ALT {
+	n := g.N()
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	a := &ALT{n: n}
+	cur := rng.Intn(n)
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = math.Inf(1)
+	}
+	for i := 0; i < k; i++ {
+		tr := shortest.Dijkstra(g, cur)
+		a.landmarks = append(a.landmarks, cur)
+		a.dist = append(a.dist, tr.Dist)
+		far, farD := cur, -1.0
+		for v := 0; v < n; v++ {
+			if tr.Dist[v] < minDist[v] {
+				minDist[v] = tr.Dist[v]
+			}
+			if !math.IsInf(minDist[v], 1) && minDist[v] > farD {
+				far, farD = v, minDist[v]
+			}
+		}
+		cur = far
+	}
+	return a
+}
+
+// Query returns the landmark upper bound on d(u,v).
+func (a *ALT) Query(u, v int) float64 {
+	if u == v {
+		return 0
+	}
+	best := math.Inf(1)
+	for i := range a.landmarks {
+		if est := a.dist[i][u] + a.dist[i][v]; est < best {
+			best = est
+		}
+	}
+	return best
+}
+
+// LowerBound returns the ALT lower bound max over landmarks of
+// |d(u,l) - d(l,v)|.
+func (a *ALT) LowerBound(u, v int) float64 {
+	best := 0.0
+	for i := range a.landmarks {
+		du, dv := a.dist[i][u], a.dist[i][v]
+		if math.IsInf(du, 1) || math.IsInf(dv, 1) {
+			continue
+		}
+		if lb := math.Abs(du - dv); lb > best {
+			best = lb
+		}
+	}
+	return best
+}
+
+// SpaceEntries returns the number of stored distances.
+func (a *ALT) SpaceEntries() int { return len(a.landmarks) * a.n }
+
+// TZ is the Thorup–Zwick approximate distance oracle for general weighted
+// graphs: stretch 2k-1, space O(k n^{1+1/k}) in expectation.
+type TZ struct {
+	k       int
+	n       int
+	pivot   [][]int     // pivot[i][v] = nearest A_i vertex p_i(v)
+	pivotD  [][]float64 // distance to it
+	bunches []map[int]float64
+}
+
+// BuildTZ constructs the oracle with parameter k >= 1 (k=1 stores exact
+// distances from every vertex; k=2 gives stretch 3, etc.).
+func BuildTZ(g *graph.Graph, k int, rng *rand.Rand) (*TZ, error) {
+	n := g.N()
+	if k < 1 {
+		return nil, fmt.Errorf("baseline: TZ requires k >= 1")
+	}
+	t := &TZ{k: k, n: n}
+	// Sample hierarchy A_0 = V > A_1 > ... > A_{k-1}; A_k = empty.
+	levels := make([][]bool, k+1)
+	levels[0] = make([]bool, n)
+	for v := range levels[0] {
+		levels[0][v] = true
+	}
+	p := math.Pow(float64(n), -1.0/float64(k))
+	for i := 1; i < k; i++ {
+		levels[i] = make([]bool, n)
+		nonEmpty := false
+		for v := 0; v < n; v++ {
+			if levels[i-1][v] && rng.Float64() < p {
+				levels[i][v] = true
+				nonEmpty = true
+			}
+		}
+		if !nonEmpty {
+			// Resample guard: keep one random vertex from the previous level.
+			var prev []int
+			for v := 0; v < n; v++ {
+				if levels[i-1][v] {
+					prev = append(prev, v)
+				}
+			}
+			levels[i][prev[rng.Intn(len(prev))]] = true
+		}
+	}
+	levels[k] = make([]bool, n)
+
+	t.pivot = make([][]int, k)
+	t.pivotD = make([][]float64, k)
+	t.bunches = make([]map[int]float64, n)
+	for v := range t.bunches {
+		t.bunches[v] = make(map[int]float64)
+	}
+	for i := 0; i < k; i++ {
+		// Multi-source Dijkstra from A_i gives p_i(v) and d(A_i, v).
+		var srcs []int
+		for v := 0; v < n; v++ {
+			if levels[i][v] {
+				srcs = append(srcs, v)
+			}
+		}
+		tr := shortest.MultiSource(g, srcs)
+		t.pivot[i] = tr.Source
+		t.pivotD[i] = tr.Dist
+	}
+	// Bunch of v: w in A_i \ A_{i+1} is in B(v) iff d(w,v) < d(A_{i+1}, v).
+	// Compute by Dijkstra from each w in A_i \ A_{i+1}, pruned at the
+	// threshold.
+	for i := 0; i < k; i++ {
+		nextD := func(v int) float64 {
+			if i+1 >= k {
+				return math.Inf(1)
+			}
+			return t.pivotD[i+1][v]
+		}
+		for w := 0; w < n; w++ {
+			if !levels[i][w] || (i+1 < k && levels[i+1][w]) {
+				continue
+			}
+			// Pruned Dijkstra from w: only relax vertices v with
+			// d(w,v) < d(A_{i+1}, v).
+			prunedDijkstra(g, w, nextD, func(v int, d float64) {
+				t.bunches[v][w] = d
+			})
+		}
+	}
+	return t, nil
+}
+
+func prunedDijkstra(g *graph.Graph, src int, limit func(int) float64, visit func(int, float64)) {
+	dist := make(map[int]float64, 64)
+	done := make(map[int]bool, 64)
+	// Simple pair heap over (vertex, dist) using sorted insertion into a
+	// slice would be O(n^2); reuse a small binary heap keyed by vertex.
+	type qi struct {
+		v int
+		d float64
+	}
+	h := []qi{{src, 0}}
+	dist[src] = 0
+	push := func(x qi) {
+		h = append(h, x)
+		i := len(h) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if h[p].d <= h[i].d {
+				break
+			}
+			h[p], h[i] = h[i], h[p]
+			i = p
+		}
+	}
+	pop := func() qi {
+		top := h[0]
+		last := len(h) - 1
+		h[0] = h[last]
+		h = h[:last]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			s := i
+			if l < len(h) && h[l].d < h[s].d {
+				s = l
+			}
+			if r < len(h) && h[r].d < h[s].d {
+				s = r
+			}
+			if s == i {
+				break
+			}
+			h[i], h[s] = h[s], h[i]
+			i = s
+		}
+		return top
+	}
+
+	for len(h) > 0 {
+		it := pop()
+		if done[it.v] || it.d > dist[it.v] {
+			continue
+		}
+		done[it.v] = true
+		visit(it.v, it.d)
+		for _, e := range g.Neighbors(it.v) {
+			nd := it.d + e.W
+			if nd >= limit(e.To) {
+				continue
+			}
+			if old, ok := dist[e.To]; !ok || nd < old {
+				dist[e.To] = nd
+				push(qi{e.To, nd})
+			}
+		}
+	}
+}
+
+// Query returns a stretch-(2k-1) estimate of d(u,v) using the classic
+// Thorup–Zwick ping-pong walk up the sampling hierarchy.
+func (t *TZ) Query(u, v int) float64 {
+	if u == v {
+		return 0
+	}
+	w := u // w = p_0(u) = u, with d(w,u) = 0
+	dwu := 0.0
+	for i := 0; ; {
+		if dwv, ok := t.bunches[v][w]; ok {
+			return dwu + dwv
+		}
+		i++
+		if i >= t.k {
+			return math.Inf(1)
+		}
+		u, v = v, u
+		w = t.pivot[i][u]
+		if w < 0 {
+			return math.Inf(1)
+		}
+		dwu = t.pivotD[i][u]
+	}
+}
+
+// SpaceEntries returns the total bunch size (the oracle's space in words).
+func (t *TZ) SpaceEntries() int {
+	total := 0
+	for _, b := range t.bunches {
+		total += len(b)
+	}
+	return total
+}
+
+// Stretch returns the theoretical stretch bound 2k-1.
+func (t *TZ) Stretch() int { return 2*t.k - 1 }
+
+// MedianBunch returns the median bunch size, a space diagnostic.
+func (t *TZ) MedianBunch() int {
+	sizes := make([]int, len(t.bunches))
+	for i, b := range t.bunches {
+		sizes[i] = len(b)
+	}
+	sort.Ints(sizes)
+	if len(sizes) == 0 {
+		return 0
+	}
+	return sizes[len(sizes)/2]
+}
+
+// QueryAStar answers an exact distance query with A* guided by the ALT
+// landmark lower bounds — the classical "ALT" algorithm. It returns the
+// distance and the number of settled vertices (compare with plain
+// Dijkstra's n).
+func (a *ALT) QueryAStar(g *graph.Graph, u, v int) (float64, int) {
+	h := func(x int) float64 { return a.LowerBound(x, v) }
+	return shortest.AStar(g, u, v, h)
+}

@@ -1,0 +1,167 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pathsep/internal/graph"
+	"pathsep/internal/shortest"
+)
+
+func TestExactMatchesDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.ConnectedGNM(30, 70, graph.UniformWeights(1, 4), rng)
+	e := &Exact{G: g}
+	tr := shortest.Dijkstra(g, 0)
+	for v := 0; v < g.N(); v++ {
+		if math.Abs(e.Query(0, v)-tr.Dist[v]) > 1e-9 {
+			t.Fatalf("Exact.Query(0,%d) mismatch", v)
+		}
+	}
+}
+
+func TestAPSPMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.ConnectedGNM(25, 60, graph.UniformWeights(1, 3), rng)
+	a := BuildAPSP(g)
+	e := &Exact{G: g}
+	for u := 0; u < g.N(); u += 5 {
+		for v := 0; v < g.N(); v++ {
+			if math.Abs(a.Query(u, v)-e.Query(u, v)) > 1e-9 {
+				t.Fatalf("APSP(%d,%d) mismatch", u, v)
+			}
+		}
+	}
+	if a.SpaceEntries() != 25*25 {
+		t.Fatalf("space = %d", a.SpaceEntries())
+	}
+}
+
+func TestALTBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.ConnectedGNM(40, 100, graph.UniformWeights(1, 5), rng)
+	alt := BuildALT(g, 6, rng)
+	a := BuildAPSP(g)
+	for u := 0; u < g.N(); u += 3 {
+		for v := 0; v < g.N(); v += 2 {
+			d := a.Query(u, v)
+			up := alt.Query(u, v)
+			lo := alt.LowerBound(u, v)
+			if up < d-1e-9 {
+				t.Fatalf("ALT upper bound %v < true %v", up, d)
+			}
+			if u != v && lo > d+1e-9 {
+				t.Fatalf("ALT lower bound %v > true %v", lo, d)
+			}
+		}
+	}
+	if alt.SpaceEntries() != 6*40 {
+		t.Fatalf("space = %d", alt.SpaceEntries())
+	}
+}
+
+func TestALTLandmarkExactAtLandmark(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.Path(20, graph.UnitWeights(), rng)
+	alt := BuildALT(g, 3, rng)
+	for _, l := range alt.landmarks {
+		for v := 0; v < g.N(); v++ {
+			d := math.Abs(float64(l - v))
+			if math.Abs(alt.Query(l, v)-d) > 1e-9 {
+				t.Fatalf("landmark query (%d,%d) = %v, want %v", l, v, alt.Query(l, v), d)
+			}
+		}
+	}
+}
+
+func TestTZStretchBound(t *testing.T) {
+	for _, k := range []int{1, 2, 3} {
+		rng := rand.New(rand.NewSource(int64(10 + k)))
+		g := graph.ConnectedGNM(60, 150, graph.UniformWeights(1, 3), rng)
+		tz, err := BuildTZ(g, k, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := BuildAPSP(g)
+		bound := float64(2*k - 1)
+		for u := 0; u < g.N(); u += 2 {
+			for v := u + 1; v < g.N(); v += 3 {
+				d := a.Query(u, v)
+				est := tz.Query(u, v)
+				if est < d-1e-9 {
+					t.Fatalf("k=%d: TZ(%d,%d) = %v < %v", k, u, v, est, d)
+				}
+				if est > bound*d+1e-9 {
+					t.Fatalf("k=%d: TZ(%d,%d) = %v > %v * %v", k, u, v, est, bound, d)
+				}
+			}
+		}
+	}
+}
+
+func TestTZK1IsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.ConnectedGNM(30, 80, graph.UniformWeights(1, 2), rng)
+	tz, err := BuildTZ(g, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := BuildAPSP(g)
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			if math.Abs(tz.Query(u, v)-a.Query(u, v)) > 1e-9 {
+				t.Fatalf("TZ k=1 (%d,%d) = %v, want %v", u, v, tz.Query(u, v), a.Query(u, v))
+			}
+		}
+	}
+	// k=1 stores everything: space = n^2.
+	if tz.SpaceEntries() != 30*30 {
+		t.Fatalf("k=1 space = %d, want %d", tz.SpaceEntries(), 900)
+	}
+}
+
+func TestTZSpaceShrinksWithK(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := graph.ConnectedGNM(200, 600, graph.UniformWeights(1, 2), rng)
+	tz1, _ := BuildTZ(g, 1, rng)
+	tz3, _ := BuildTZ(g, 3, rng)
+	if tz3.SpaceEntries() >= tz1.SpaceEntries() {
+		t.Fatalf("k=3 space %d not below k=1 space %d", tz3.SpaceEntries(), tz1.SpaceEntries())
+	}
+	if tz3.Stretch() != 5 || tz1.Stretch() != 1 {
+		t.Fatal("stretch accessor wrong")
+	}
+	if tz3.MedianBunch() <= 0 {
+		t.Fatal("median bunch")
+	}
+}
+
+func TestTZRejectsBadK(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := graph.Path(5, graph.UnitWeights(), rng)
+	if _, err := BuildTZ(g, 0, rng); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestALTAStarExactAndFaster(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := graph.ConnectedGNM(300, 900, graph.UniformWeights(1, 4), rng)
+	alt := BuildALT(g, 8, rng)
+	totalAstar, totalBlind := 0, 0
+	for trial := 0; trial < 20; trial++ {
+		u, v := rng.Intn(g.N()), rng.Intn(g.N())
+		want := shortest.Dijkstra(g, u).Dist[v]
+		got, settled := alt.QueryAStar(g, u, v)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("ALT A* (%d,%d) = %v, want %v", u, v, got, want)
+		}
+		_, blind := shortest.AStar(g, u, v, nil)
+		totalAstar += settled
+		totalBlind += blind
+	}
+	if totalAstar > totalBlind {
+		t.Errorf("ALT A* settled more vertices than Dijkstra: %d vs %d", totalAstar, totalBlind)
+	}
+}

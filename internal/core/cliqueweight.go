@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"pathsep/internal/graph"
+)
+
+// This file implements the clique-weight machinery of Section 3 of the
+// paper (Lemma 5): a clique-weight on the center bag's torso whose
+// half-size separators are automatically balanced separators of the whole
+// graph. It is the bridge the paper uses between Step 3's nearly-planar
+// separator and the global n/2 guarantee.
+
+// CliqueWeight is a set of cliques with non-negative weights (the paper's
+// (K, ω) pair). Weight reaches a subgraph A as soon as A touches the
+// clique: f(A) = Σ_{K ∩ A ≠ ∅} ω(K).
+type CliqueWeight struct {
+	Cliques [][]int
+	Omega   []float64
+}
+
+// Total returns f of the whole ground set: the sum of all clique weights.
+func (c *CliqueWeight) Total() float64 {
+	var s float64
+	for _, w := range c.Omega {
+		s += w
+	}
+	return s
+}
+
+// WeightOf returns f(A) for the vertex set A.
+func (c *CliqueWeight) WeightOf(a []int) float64 {
+	inA := make(map[int]bool, len(a))
+	for _, v := range a {
+		inA[v] = true
+	}
+	var s float64
+	for i, k := range c.Cliques {
+		for _, v := range k {
+			if inA[v] {
+				s += c.Omega[i]
+				break
+			}
+		}
+	}
+	return s
+}
+
+// Lemma5Weight builds, for a center set C of graph g, the clique-weight
+// (K, ω) of Lemma 5 on the torso of C: each component D of g∖C
+// contributes its attachment set N(D) ∩ C as a clique of weight |D|, and
+// every vertex of C contributes the singleton clique {v} of weight 1.
+// TorsoEdges returns the filled-in edges so callers can build the torso
+// graph: every attachment set is completed into a clique.
+func Lemma5Weight(g *graph.Graph, center []int) (*CliqueWeight, [][2]int, error) {
+	n := g.N()
+	inC := make(map[int]bool, len(center))
+	for _, v := range center {
+		if v < 0 || v >= n {
+			return nil, nil, fmt.Errorf("core: center vertex %d out of range", v)
+		}
+		inC[v] = true
+	}
+	cw := &CliqueWeight{}
+	for _, v := range center {
+		cw.Cliques = append(cw.Cliques, []int{v})
+		cw.Omega = append(cw.Omega, 1)
+	}
+	var torso [][2]int
+	for _, comp := range graph.ComponentsAfterRemoval(g, center) {
+		attach := map[int]bool{}
+		for _, v := range comp {
+			for _, h := range g.Neighbors(v) {
+				if inC[h.To] {
+					attach[h.To] = true
+				}
+			}
+		}
+		if len(attach) == 0 {
+			continue // component not adjacent to C; cannot merge across C
+		}
+		clique := make([]int, 0, len(attach))
+		for v := range attach {
+			clique = append(clique, v)
+		}
+		sort.Ints(clique)
+		cw.Cliques = append(cw.Cliques, clique)
+		cw.Omega = append(cw.Omega, float64(len(comp)))
+		for i := 0; i < len(clique); i++ {
+			for j := i + 1; j < len(clique); j++ {
+				torso = append(torso, [2]int{clique[i], clique[j]})
+			}
+		}
+	}
+	return cw, torso, nil
+}
+
+// TorsoGraph builds the induced subgraph on the center completed with the
+// Lemma 5 fill-in edges (weight 0 for fill-ins: they exist only for the
+// connectivity bookkeeping, never as shortest-path material).
+func TorsoGraph(g *graph.Graph, center []int, fill [][2]int) *graph.Sub {
+	sub := graph.Induced(g, center)
+	toSub := make(map[int]int, len(sub.Orig))
+	for sv, ov := range sub.Orig {
+		toSub[ov] = sv
+	}
+	b := graph.NewBuilder(sub.G.N())
+	sub.G.Edges(func(u, v int, w float64) { b.AddEdge(u, v, w) })
+	for _, e := range fill {
+		su, ok1 := toSub[e[0]]
+		sv, ok2 := toSub[e[1]]
+		if ok1 && ok2 {
+			b.AddEdge(su, sv, 0)
+		}
+	}
+	return &graph.Sub{G: b.Build(), Orig: sub.Orig}
+}
+
+// Lemma5Check verifies the lemma's conclusion for a candidate separator
+// S ⊆ C: if S is a half-size separator of the torso under the
+// clique-weight (every torso component has f ≤ f(C̃)/2), then every
+// component of g∖S has at most n/2 vertices. It returns an error when S
+// halves the torso by clique-weight but fails to halve g — i.e. when the
+// lemma would be violated (useful as a property test of the
+// construction).
+func Lemma5Check(g *graph.Graph, center []int, torso *graph.Sub, cw *CliqueWeight, sepTorso []int) error {
+	// f-weight of each torso component after removing S.
+	half := cw.Total() / 2
+	torsoHalved := true
+	for _, comp := range graph.ComponentsAfterRemoval(torso.G, sepTorso) {
+		lifted := make([]int, len(comp))
+		for i, v := range comp {
+			lifted[i] = torso.Orig[v]
+		}
+		if cw.WeightOf(lifted) > half {
+			torsoHalved = false
+			break
+		}
+	}
+	if !torsoHalved {
+		return nil // premise not met; lemma says nothing
+	}
+	// Conclusion: g minus S has components of at most n/2 vertices.
+	lifted := make([]int, len(sepTorso))
+	for i, v := range sepTorso {
+		lifted[i] = torso.Orig[v]
+	}
+	comps := graph.ComponentsAfterRemoval(g, lifted)
+	if len(comps) > 0 && len(comps[0]) > g.N()/2 {
+		return fmt.Errorf("core: Lemma 5 violated: torso halved by clique-weight but g has a component of %d > %d",
+			len(comps[0]), g.N()/2)
+	}
+	return nil
+}

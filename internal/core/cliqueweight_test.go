@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathsep/internal/graph"
+	"pathsep/internal/treedecomp"
+)
+
+// centerOf returns a center bag of g (Lemma 1), the premise Lemma 5
+// builds on.
+func centerOf(t *testing.T, g *graph.Graph) []int {
+	t.Helper()
+	d := treedecomp.Build(g, treedecomp.MinDegree)
+	c := d.CenterBag(g)
+	if c < 0 {
+		t.Fatal("no center bag")
+	}
+	return d.Bags[c]
+}
+
+func TestLemma5WeightAccountsWholeGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.ConnectedGNM(60, 140, graph.UnitWeights(), rng)
+	center := centerOf(t, g)
+	cw, _, err := Lemma5Weight(g, center)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total weight = |C| + sum of attached component sizes. For a
+	// connected graph every component attaches, so total = n.
+	if got := cw.Total(); got != float64(g.N()) {
+		t.Fatalf("total clique weight %v, want %d", got, g.N())
+	}
+}
+
+func TestTorsoGraphCompletesAttachments(t *testing.T) {
+	// Star-of-cliques: center bag is the hub; each leaf component attaches
+	// to two hub vertices, which must become adjacent in the torso.
+	b := graph.NewBuilder(8)
+	// Hub: 0-1-2-3 path.
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(2, 3, 1)
+	// Component {4,5} attached to 0 and 3.
+	b.AddEdge(4, 0, 1)
+	b.AddEdge(4, 5, 1)
+	b.AddEdge(5, 3, 1)
+	// Component {6,7} attached to 1 and 3.
+	b.AddEdge(6, 1, 1)
+	b.AddEdge(6, 7, 1)
+	b.AddEdge(7, 3, 1)
+	g := b.Build()
+	center := []int{0, 1, 2, 3}
+	cw, fill, err := Lemma5Weight(g, center)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torso := TorsoGraph(g, center, fill)
+	// {0,3} and {1,3} must be filled in.
+	toSub := map[int]int{}
+	for sv, ov := range torso.Orig {
+		toSub[ov] = sv
+	}
+	if !torso.G.HasEdge(toSub[0], toSub[3]) {
+		t.Fatal("fill-in {0,3} missing")
+	}
+	if !torso.G.HasEdge(toSub[1], toSub[3]) {
+		t.Fatal("fill-in {1,3} missing")
+	}
+	// Weight: 4 singletons + two components of size 2 = 8 = n.
+	if cw.Total() != 8 {
+		t.Fatalf("total = %v", cw.Total())
+	}
+}
+
+func TestLemma5HoldsOnRandomGraphs(t *testing.T) {
+	// Property check of the lemma: for random center bags and ALL small
+	// candidate separators of the torso, the implication "torso halved by
+	// clique-weight => g halved by vertex count" must hold.
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.ConnectedGNM(24, 50, graph.UnitWeights(), rng)
+		center := centerOf(t, g)
+		cw, fill, err := Lemma5Weight(g, center)
+		if err != nil {
+			t.Fatal(err)
+		}
+		torso := TorsoGraph(g, center, fill)
+		nT := torso.G.N()
+		// All singleton and pair separators of the torso.
+		for a := 0; a < nT; a++ {
+			if err := Lemma5Check(g, center, torso, cw, []int{a}); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			for b := a + 1; b < nT; b++ {
+				if err := Lemma5Check(g, center, torso, cw, []int{a, b}); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		}
+		// And the whole center (trivially halves both).
+		all := make([]int, nT)
+		for i := range all {
+			all[i] = i
+		}
+		if err := Lemma5Check(g, center, torso, cw, all); err != nil {
+			t.Fatalf("seed %d full: %v", seed, err)
+		}
+	}
+}
+
+func TestWeightOf(t *testing.T) {
+	cw := &CliqueWeight{
+		Cliques: [][]int{{0}, {1, 2}, {2, 3}},
+		Omega:   []float64{1, 5, 7},
+	}
+	if got := cw.WeightOf([]int{0}); got != 1 {
+		t.Fatalf("f({0}) = %v", got)
+	}
+	if got := cw.WeightOf([]int{2}); got != 12 {
+		t.Fatalf("f({2}) = %v", got)
+	}
+	if got := cw.WeightOf([]int{1, 3}); got != 12 {
+		t.Fatalf("f({1,3}) = %v", got)
+	}
+	if got := cw.WeightOf(nil); got != 0 {
+		t.Fatalf("f(empty) = %v", got)
+	}
+	// Key non-additivity the paper points out: f(A)+f(B) can exceed f(G).
+	if cw.WeightOf([]int{1})+cw.WeightOf([]int{2}) <= cw.Total() {
+		t.Log("note: these sets do not exhibit the non-additivity; construction-dependent")
+	}
+}

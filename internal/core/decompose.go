@@ -1,0 +1,311 @@
+package core
+
+import (
+	"fmt"
+
+	"pathsep/internal/embed"
+	"pathsep/internal/graph"
+	"pathsep/internal/treedecomp"
+)
+
+// Node is one node of the decomposition tree (Section 4): a subgraph H of
+// the root graph, its k-path separator S(H), and the child components of
+// H minus S(H).
+type Node struct {
+	// ID is the node's index in Tree.Nodes.
+	ID int
+	// Parent is the parent node ID, -1 for the root.
+	Parent int
+	// Depth is the distance from the root.
+	Depth int
+	// Sub is the subgraph H with its mapping to root-graph vertex IDs.
+	Sub *graph.Sub
+	// Sep is the separator of H in LOCAL (Sub.G) vertex IDs; nil only for a
+	// disconnected virtual root.
+	Sep *Separator
+	// Children are the node IDs of the components of H minus S(H).
+	Children []int
+	// StrategyName records which strategy separated this node.
+	StrategyName string
+}
+
+// Tree is the decomposition tree of a graph: the root is the whole graph;
+// each node's children are the connected components left by its separator.
+// Every vertex of the graph is removed by the separator of exactly one
+// node, its "home".
+type Tree struct {
+	G     *graph.Graph
+	Nodes []*Node
+	// Home[v] is the node ID whose separator removed root vertex v.
+	Home []int
+	// MaxK is the largest NumPaths over all node separators.
+	MaxK int
+	// TotalPaths is the sum of NumPaths over all nodes.
+	TotalPaths int
+	// Depth is the height of the tree.
+	Depth int
+}
+
+// Root returns the root node.
+func (t *Tree) Root() *Node { return t.Nodes[0] }
+
+// HomePath returns the node IDs from the root down to Home[v], the nodes
+// H_1(v), ..., H_r(v) of Section 4.
+func (t *Tree) HomePath(v int) []int {
+	var rev []int
+	for id := t.Home[v]; id >= 0; id = t.Nodes[id].Parent {
+		rev = append(rev, id)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Options configures Decompose.
+type Options struct {
+	// Strategy separates each node; Auto{} if nil.
+	Strategy Strategy
+	// Rot is an optional planar embedding of the root graph.
+	Rot *embed.Rotation
+	// Certify re-verifies every separator against Definition 1 (slow;
+	// for tests and audits).
+	Certify bool
+	// MaxDepth caps recursion depth as a loop guard; 0 means
+	// 2*ceil(log2 n) + 8.
+	MaxDepth int
+	// MinComponent stops recursing into components at or below this size,
+	// separating them exhaustively vertex-by-vertex instead. 0 means 1.
+	MinComponent int
+}
+
+// Decompose builds the decomposition tree of g. If g is disconnected, the
+// root gets an empty separator with one child per component.
+func Decompose(g *graph.Graph, opt Options) (*Tree, error) {
+	if g.N() == 0 {
+		return nil, fmt.Errorf("core: empty graph")
+	}
+	strat := opt.Strategy
+	if strat == nil {
+		strat = Auto{}
+	}
+	maxDepth := opt.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = 2*log2Ceil(g.N()) + 8
+	}
+	t := &Tree{G: g, Home: make([]int, g.N())}
+	for i := range t.Home {
+		t.Home[i] = -1
+	}
+
+	all := make([]int, g.N())
+	for i := range all {
+		all[i] = i
+	}
+	rootSub := graph.Induced(g, all)
+
+	type item struct {
+		sub    *graph.Sub
+		rot    *embed.Rotation
+		parent int
+		depth  int
+	}
+	var queue []item
+	if graph.IsConnected(g) {
+		queue = append(queue, item{sub: rootSub, rot: opt.Rot, parent: -1, depth: 0})
+	} else {
+		// Virtual root with empty separator.
+		root := &Node{ID: 0, Parent: -1, Sub: rootSub, StrategyName: "virtual-root"}
+		t.Nodes = append(t.Nodes, root)
+		for _, comp := range graph.ConnectedComponents(g) {
+			sub := graph.Induced(g, comp)
+			var rot *embed.Rotation
+			if opt.Rot != nil {
+				rot = opt.Rot.Restrict(sub)
+			}
+			queue = append(queue, item{sub: sub, rot: rot, parent: 0, depth: 1})
+		}
+	}
+
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if it.depth > maxDepth {
+			return nil, fmt.Errorf("core: decomposition exceeded max depth %d", maxDepth)
+		}
+		node := &Node{
+			ID:     len(t.Nodes),
+			Parent: it.parent,
+			Depth:  it.depth,
+			Sub:    it.sub,
+		}
+		t.Nodes = append(t.Nodes, node)
+		if it.parent >= 0 {
+			t.Nodes[it.parent].Children = append(t.Nodes[it.parent].Children, node.ID)
+		}
+		if it.depth > t.Depth {
+			t.Depth = it.depth
+		}
+
+		j := it.sub.G
+		var sep *Separator
+		var err error
+		if j.N() <= max(1, opt.MinComponent) {
+			// Exhaust tiny components: every vertex its own trivial path.
+			phase := Phase{}
+			for v := 0; v < j.N(); v++ {
+				phase.Paths = append(phase.Paths, Path{Vertices: []int{v}})
+			}
+			sep = &Separator{Phases: []Phase{phase}}
+			node.StrategyName = "exhaust"
+		} else {
+			sep, err = strat.Separate(Input{G: j, Rot: it.rot})
+			if err != nil {
+				return nil, fmt.Errorf("core: node %d (n=%d, depth=%d): %w", node.ID, j.N(), it.depth, err)
+			}
+			node.StrategyName = strat.Name()
+		}
+		if opt.Certify {
+			if err := Certify(j, sep); err != nil {
+				return nil, fmt.Errorf("core: node %d: %w", node.ID, err)
+			}
+		}
+		node.Sep = sep
+		if k := sep.NumPaths(); k > t.MaxK {
+			t.MaxK = k
+		}
+		t.TotalPaths += sep.NumPaths()
+
+		locals := sep.Vertices()
+		if len(locals) == 0 {
+			return nil, fmt.Errorf("core: node %d: separator removed nothing", node.ID)
+		}
+		for _, lv := range locals {
+			ov := it.sub.Orig[lv]
+			if t.Home[ov] >= 0 {
+				return nil, fmt.Errorf("core: vertex %d separated twice", ov)
+			}
+			t.Home[ov] = node.ID
+		}
+		for _, comp := range graph.ComponentsAfterRemoval(j, locals) {
+			childSub := graph.Induced(j, comp)
+			// Compose origin maps so children map straight to root IDs.
+			for i, lv := range childSub.Orig {
+				childSub.Orig[i] = it.sub.Orig[lv]
+			}
+			lifted := graph.Induced(g, childSub.Orig)
+			var childRot *embed.Rotation
+			if it.rot != nil {
+				childRot = it.rot.Restrict(graph.Induced(j, comp))
+			}
+			queue = append(queue, item{sub: lifted, rot: childRot, parent: node.ID, depth: it.depth + 1})
+		}
+	}
+	for v, h := range t.Home {
+		if h < 0 {
+			return nil, fmt.Errorf("core: vertex %d never separated", v)
+		}
+	}
+	return t, nil
+}
+
+// SepInRootIDs returns the node's separator with vertices translated to
+// root-graph IDs.
+func (n *Node) SepInRootIDs() *Separator {
+	if n.Sep == nil {
+		return nil
+	}
+	out := &Separator{Phases: make([]Phase, len(n.Sep.Phases))}
+	for i, ph := range n.Sep.Phases {
+		out.Phases[i].Paths = make([]Path, len(ph.Paths))
+		for j, p := range ph.Paths {
+			vs := make([]int, len(p.Vertices))
+			for x, v := range p.Vertices {
+				vs[x] = n.Sub.Orig[v]
+			}
+			out.Phases[i].Paths[j] = Path{Vertices: vs}
+		}
+	}
+	return out
+}
+
+// Auto dispatches per node: trees get the centroid strategy; embedded
+// graphs the planar strategy (falling back to Greedy on failure); when no
+// embedding is supplied but the graph passes the planar edge bound and is
+// not too large, one is computed with the DMP algorithm; graphs whose
+// min-degree decomposition is narrow get the center bag; everything else
+// Greedy.
+type Auto struct {
+	// BagWidthLimit is the largest heuristic width for which the center-bag
+	// strategy is used (default 16).
+	BagWidthLimit int
+	// PlanarizeLimit caps the vertex count for attempting a DMP embedding
+	// when none is provided (default 4096; DMP is O(n·m)).
+	PlanarizeLimit int
+}
+
+// Name implements Strategy.
+func (Auto) Name() string { return "auto" }
+
+// Separate implements Strategy.
+func (a Auto) Separate(in Input) (*Separator, error) {
+	if IsTree(in.G) {
+		return TreeCentroid{}.Separate(in)
+	}
+	if in.Rot != nil {
+		sep, err := (Planar{}).Separate(in)
+		if err == nil {
+			return sep, nil
+		}
+	}
+	planarizeLimit := a.PlanarizeLimit
+	if planarizeLimit <= 0 {
+		planarizeLimit = 4096
+	}
+	if in.Rot == nil && in.G.N() >= 3 && in.G.N() <= planarizeLimit && in.G.M() <= 3*in.G.N()-6 {
+		if rot, err := embed.Planarize(in.G); err == nil {
+			if sep, err := (Planar{}).Separate(Input{G: in.G, Rot: rot}); err == nil {
+				return sep, nil
+			}
+		}
+	}
+	limit := a.BagWidthLimit
+	if limit <= 0 {
+		limit = 16
+	}
+	if sep, err := (WidthBounded{Limit: limit}).Separate(in); err == nil {
+		return sep, nil
+	}
+	return Greedy{}.Separate(in)
+}
+
+// WidthBounded applies CenterBag only when the heuristic decomposition is
+// narrow; it fails otherwise so callers can fall back.
+type WidthBounded struct {
+	Limit     int
+	Heuristic treedecomp.Heuristic
+}
+
+// Name implements Strategy.
+func (WidthBounded) Name() string { return "center-bag-bounded" }
+
+// Separate implements Strategy.
+func (w WidthBounded) Separate(in Input) (*Separator, error) {
+	d := treedecomp.Build(in.G, w.Heuristic)
+	if width := d.Width(); width > w.Limit {
+		return nil, fmt.Errorf("core: heuristic width %d exceeds limit %d", width, w.Limit)
+	}
+	c := d.CenterBag(in.G)
+	if c < 0 {
+		return nil, fmt.Errorf("core: no center bag")
+	}
+	bag := d.Bags[c]
+	if got := balanceOf(in.G, bag); got > in.G.N()/2 {
+		return nil, fmt.Errorf("core: center bag unbalanced")
+	}
+	paths := make([]Path, 0, len(bag))
+	for _, v := range bag {
+		paths = append(paths, Path{Vertices: []int{v}})
+	}
+	return &Separator{Phases: []Phase{{Paths: paths}}}, nil
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathsep/internal/embed"
+	"pathsep/internal/graph"
+)
+
+func checkTree(t *testing.T, tr *Tree) {
+	t.Helper()
+	g := tr.G
+	// Every vertex has a home node whose separator (in root IDs) contains it.
+	for v := 0; v < g.N(); v++ {
+		h := tr.Home[v]
+		if h < 0 || h >= len(tr.Nodes) {
+			t.Fatalf("vertex %d home %d invalid", v, h)
+		}
+		found := false
+		for _, u := range tr.Nodes[h].SepInRootIDs().Vertices() {
+			if u == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("vertex %d not in its home separator", v)
+		}
+	}
+	// Node subgraph sizes halve down the tree.
+	for _, n := range tr.Nodes {
+		if n.Parent >= 0 && tr.Nodes[n.Parent].Sep != nil {
+			p := tr.Nodes[n.Parent]
+			if n.Sub.G.N() > p.Sub.G.N()/2 {
+				t.Fatalf("node %d size %d > parent half %d", n.ID, n.Sub.G.N(), p.Sub.G.N()/2)
+			}
+		}
+	}
+	// HomePath is a root path.
+	for v := 0; v < g.N(); v++ {
+		hp := tr.HomePath(v)
+		if len(hp) == 0 || hp[len(hp)-1] != tr.Home[v] {
+			t.Fatalf("HomePath(%d) = %v, home %d", v, hp, tr.Home[v])
+		}
+		for i := 1; i < len(hp); i++ {
+			if tr.Nodes[hp[i]].Parent != hp[i-1] {
+				t.Fatalf("HomePath(%d) broken at %d", v, i)
+			}
+		}
+	}
+}
+
+func TestDecomposeTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.RandomTree(100, graph.UniformWeights(1, 2), rng)
+	tr, err := Decompose(g, Options{Strategy: TreeCentroid{}, Certify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTree(t, tr)
+	if tr.MaxK != 1 {
+		t.Errorf("MaxK = %d, want 1 for trees", tr.MaxK)
+	}
+	if tr.Depth > log2Ceil(100)+2 {
+		t.Errorf("depth %d too large", tr.Depth)
+	}
+}
+
+func TestDecomposeGridPlanar(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	r := embed.Grid(9, 9, graph.UniformWeights(1, 3), rng)
+	tr, err := Decompose(r.G, Options{Strategy: Auto{}, Rot: r, Certify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTree(t, tr)
+	if tr.MaxK > 4 {
+		t.Errorf("MaxK = %d, want <= 4 for planar", tr.MaxK)
+	}
+}
+
+func TestDecomposeApollonianPlanar(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	r := embed.Apollonian(150, graph.UniformWeights(1, 2), rng)
+	tr, err := Decompose(r.G, Options{Strategy: Auto{}, Rot: r, Certify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTree(t, tr)
+}
+
+func TestDecomposeKTreeAuto(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.KTree(90, 3, graph.UniformWeights(1, 2), rng)
+	tr, err := Decompose(g, Options{Strategy: Auto{}, Certify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTree(t, tr)
+	if tr.MaxK > 4 {
+		t.Errorf("MaxK = %d, want <= 4 for 3-trees", tr.MaxK)
+	}
+}
+
+func TestDecomposeDisconnected(t *testing.T) {
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(3, 4, 1)
+	b.AddEdge(4, 5, 1)
+	g := b.Build()
+	tr, err := Decompose(g, Options{Strategy: Greedy{}, Certify: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root().StrategyName != "virtual-root" {
+		t.Fatalf("root strategy %q", tr.Root().StrategyName)
+	}
+	if len(tr.Root().Children) != 2 {
+		t.Fatalf("root children = %d", len(tr.Root().Children))
+	}
+	for v := 0; v < 6; v++ {
+		if tr.Home[v] < 0 {
+			t.Fatalf("vertex %d unhomed", v)
+		}
+	}
+}
+
+func TestDecomposeMinComponent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.ConnectedGNM(64, 128, graph.UnitWeights(), rng)
+	tr, err := Decompose(g, Options{Strategy: Greedy{}, MinComponent: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTree(t, tr)
+	// Depth should be bounded by ~log2(64/8) + slack.
+	if tr.Depth > 8 {
+		t.Errorf("depth %d", tr.Depth)
+	}
+}
+
+func TestDecomposeSingleVertex(t *testing.T) {
+	g := graph.New(1)
+	tr, err := Decompose(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Nodes) != 1 || tr.Home[0] != 0 {
+		t.Fatal("singleton decomposition wrong")
+	}
+}
+
+func TestDecomposeDepthLogarithmic(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	r := embed.Grid(16, 16, graph.UnitWeights(), rng)
+	tr, err := Decompose(r.G, Options{Strategy: Auto{}, Rot: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth > log2Ceil(256)+2 {
+		t.Errorf("depth %d > log2(256)+2", tr.Depth)
+	}
+}
+
+func TestAutoSelfPlanarizes(t *testing.T) {
+	// A bare grid with NO caller-provided rotation must still get the
+	// planar machinery (constant k) via the DMP embedder.
+	g := graph.Mesh3D(16, 16, 1, graph.UnitWeights(), nil)
+	tr, err := Decompose(g, Options{Strategy: Auto{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTree(t, tr)
+	if tr.MaxK > 4 {
+		t.Errorf("maxK = %d; self-planarization should give <= 4", tr.MaxK)
+	}
+}
+
+func TestAutoSeriesParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := graph.SeriesParallel(150, graph.UniformWeights(1, 3), rng)
+	tr, err := Decompose(g, Options{Strategy: Auto{}, Certify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTree(t, tr)
+	// Series-parallel: treewidth 2, so k should stay tiny whichever route
+	// Auto takes (planar or center bag).
+	if tr.MaxK > 4 {
+		t.Errorf("maxK = %d on a series-parallel graph", tr.MaxK)
+	}
+}
+
+func TestDecomposeMaxDepthGuard(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := graph.ConnectedGNM(64, 128, graph.UnitWeights(), rng)
+	if _, err := Decompose(g, Options{Strategy: Greedy{}, MaxDepth: 1}); err == nil {
+		t.Fatal("depth cap not enforced")
+	}
+}
+
+func TestDecomposeEmptyGraph(t *testing.T) {
+	if _, err := Decompose(graph.New(0), Options{}); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}
+
+func TestSepInRootIDsNilSeparator(t *testing.T) {
+	n := &Node{}
+	if n.SepInRootIDs() != nil {
+		t.Fatal("nil separator should lift to nil")
+	}
+}

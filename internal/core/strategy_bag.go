@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+
+	"pathsep/internal/graph"
+	"pathsep/internal/shortest"
+	"pathsep/internal/treedecomp"
+)
+
+// CenterBag separates a graph with the center bag of a heuristic tree
+// decomposition: every vertex of the bag is a trivial (one-vertex)
+// shortest path, so the separator is strong — a single phase of at most
+// width+1 paths (Theorem 7: treewidth-r graphs are strongly
+// (r+1)-path separable).
+type CenterBag struct {
+	// Heuristic selects the elimination ordering; MinDegree by default.
+	Heuristic treedecomp.Heuristic
+}
+
+// Name implements Strategy.
+func (s CenterBag) Name() string { return "center-bag" }
+
+// Separate implements Strategy.
+func (s CenterBag) Separate(in Input) (*Separator, error) {
+	g := in.G
+	if g.N() == 0 {
+		return nil, fmt.Errorf("core: empty graph")
+	}
+	if g.N() == 1 {
+		return singleVertexSeparator(0), nil
+	}
+	d := treedecomp.Build(g, s.Heuristic)
+	c := d.CenterBag(g)
+	if c < 0 {
+		return nil, fmt.Errorf("core: no center bag found")
+	}
+	bag := d.Bags[c]
+	paths := make([]Path, 0, len(bag))
+	for _, v := range bag {
+		paths = append(paths, Path{Vertices: []int{v}})
+	}
+	sep := &Separator{Phases: []Phase{{Paths: paths}}}
+	if got := balanceOf(g, bag); got > g.N()/2 {
+		return nil, fmt.Errorf("core: center bag left a component of %d > n/2", got)
+	}
+	return sep, nil
+}
+
+// Greedy separates arbitrary connected graphs with shortest-path-tree
+// centroid paths: each phase removes, from the largest remaining
+// component, the shortest path from a root to the centroid of the
+// shortest-path tree. Every phase's path is a shortest path in the
+// residual graph, so the output satisfies Definition 1; the number of
+// phases used is the measured k.
+type Greedy struct {
+	// MaxPaths caps the number of paths before giving up (0 = 4*sqrt(n)+16).
+	MaxPaths int
+}
+
+// Name implements Strategy.
+func (Greedy) Name() string { return "greedy-sptree" }
+
+// Separate implements Strategy.
+func (s Greedy) Separate(in Input) (*Separator, error) {
+	g := in.G
+	n := g.N()
+	if n == 0 {
+		return nil, fmt.Errorf("core: empty graph")
+	}
+	if n == 1 {
+		return singleVertexSeparator(0), nil
+	}
+	maxPaths := s.MaxPaths
+	if maxPaths <= 0 {
+		maxPaths = 4*isqrt(n) + 16
+	}
+	sep := &Separator{}
+	removed := make([]int, 0, 16)
+	for len(sep.Phases) < maxPaths {
+		comps := graph.ComponentsAfterRemoval(g, removed)
+		if len(comps) == 0 || len(comps[0]) <= n/2 {
+			return sep, nil
+		}
+		sub := graph.Induced(g, comps[0])
+		path := centroidPath(sub)
+		lifted := make([]int, len(path))
+		for i, v := range path {
+			lifted[i] = sub.Orig[v]
+		}
+		sep.Phases = append(sep.Phases, Phase{Paths: []Path{{Vertices: lifted}}})
+		removed = append(removed, lifted...)
+	}
+	return nil, fmt.Errorf("core: greedy exceeded %d paths without halving (n=%d)", maxPaths, n)
+}
+
+// centroidPath returns, in sub-local IDs, the shortest path from a root to
+// the centroid of the shortest-path tree of the (connected) subgraph.
+func centroidPath(sub *graph.Sub) []int {
+	j := sub.G
+	if j.N() == 1 {
+		return []int{0}
+	}
+	root := maxDegreeVertex(j)
+	t := shortest.Dijkstra(j, root)
+	c := sptCentroid(j.N(), t.Parent)
+	return t.PathTo(c)
+}
+
+func maxDegreeVertex(g *graph.Graph) int {
+	best, bestDeg := 0, -1
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) > bestDeg {
+			best, bestDeg = v, g.Degree(v)
+		}
+	}
+	return best
+}
+
+// sptCentroid computes the centroid of the tree given by parent pointers
+// (root has parent -1): the vertex whose removal from the TREE leaves
+// subtrees of at most n/2 vertices. Removing the root-to-centroid path
+// leaves tree components of at most n/2 vertices (graph components may
+// still merge across non-tree edges, which is why Greedy iterates).
+func sptCentroid(n int, parent []int) int {
+	size := make([]int, n)
+	childCount := make([]int, n)
+	for v := 0; v < n; v++ {
+		if parent[v] >= 0 {
+			childCount[parent[v]]++
+		}
+	}
+	// Kahn-style leaf peeling to get sizes without recursion.
+	pending := make([]int, n)
+	copy(pending, childCount)
+	queue := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if pending[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		size[v]++
+		if p := parent[v]; p >= 0 {
+			size[p] += size[v]
+			pending[p]--
+			if pending[p] == 0 {
+				queue = append(queue, p)
+			}
+		}
+	}
+	root := 0
+	for v := 0; v < n; v++ {
+		if parent[v] < 0 {
+			root = v
+			break
+		}
+	}
+	// children lists for the descent.
+	childHead := make([][]int, n)
+	for v := 0; v < n; v++ {
+		if p := parent[v]; p >= 0 {
+			childHead[p] = append(childHead[p], v)
+		}
+	}
+	v := root
+	for {
+		next := -1
+		for _, c := range childHead[v] {
+			if size[c] > n/2 {
+				next = c
+				break
+			}
+		}
+		if next < 0 {
+			return v
+		}
+		v = next
+	}
+}
+
+func isqrt(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	x := n
+	y := (x + 1) / 2
+	for y < x {
+		x = y
+		y = (x + n/x) / 2
+	}
+	return x
+}

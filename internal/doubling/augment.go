@@ -1,0 +1,142 @@
+package doubling
+
+import (
+	"math"
+	"math/rand"
+
+	"pathsep/internal/shortest"
+	"pathsep/internal/smallworld"
+)
+
+// Augment implements Note 3 of Section 4 for the 3-D mesh: since the mesh
+// is (1,2)-doubling separable rather than path separable, each vertex's
+// long-range contact is drawn from landmark RINGS on the separator plane
+// (Slivkins-style rings of neighbors): choose a uniform level of the
+// plane decomposition, find the closest plane vertex c(v) at distance d,
+// and pick a landmark on the plane whose plane-metric distance from c(v)
+// is close to a scale (i/2)·d (i ≤ 10) or 2^i·d — the 2-dimensional
+// analogue of the Claim 1 landmark set.
+func Augment(t *Tree, rng *rand.Rand) *smallworld.Augmented {
+	a := &smallworld.Augmented{G: t.G, Long: make([]int, t.G.N())}
+	for i := range a.Long {
+		a.Long[i] = -1
+	}
+	// Per node: multi-source Dijkstra from the plane.
+	type nodeData struct {
+		distRoot map[int]float64
+		closest  map[int]int // root vertex -> plane index
+	}
+	data := make([]nodeData, len(t.Nodes))
+	for _, node := range t.Nodes {
+		if len(node.Plane) == 0 {
+			continue
+		}
+		j := node.Sub.G
+		tr := shortest.MultiSource(j, node.Plane)
+		idxOf := make(map[int]int, len(node.Plane))
+		for x, lv := range node.Plane {
+			idxOf[lv] = x
+		}
+		nd := nodeData{
+			distRoot: make(map[int]float64, j.N()),
+			closest:  make(map[int]int, j.N()),
+		}
+		for w := 0; w < j.N(); w++ {
+			if tr.Source[w] < 0 {
+				continue
+			}
+			rootW := node.Sub.Orig[w]
+			nd.distRoot[rootW] = tr.Dist[w]
+			nd.closest[rootW] = idxOf[tr.Source[w]]
+		}
+		data[node.ID] = nd
+	}
+	maxDim := shortest.DiameterApprox(t.G, 0)
+	for v := 0; v < t.G.N(); v++ {
+		homePath := t.HomePath(v)
+		for attempt := 0; attempt < 4 && a.Long[v] < 0; attempt++ {
+			nodeID := homePath[rng.Intn(len(homePath))]
+			nd := data[nodeID]
+			if nd.distRoot == nil {
+				continue
+			}
+			d, ok := nd.distRoot[v]
+			if !ok {
+				continue
+			}
+			node := t.Nodes[nodeID]
+			lm := RingLandmarks(node.Coords, nd.closest[v], d, maxDim, rng)
+			// Filter out v itself.
+			filtered := lm[:0]
+			for _, x := range lm {
+				if node.Sub.Orig[node.Plane[x]] != v {
+					filtered = append(filtered, x)
+				}
+			}
+			if len(filtered) == 0 {
+				continue
+			}
+			x := filtered[rng.Intn(len(filtered))]
+			a.Long[v] = node.Sub.Orig[node.Plane[x]]
+		}
+	}
+	return a
+}
+
+// RingLandmarks selects plane-vertex indices whose Manhattan distance
+// from the center index c is the first to reach each Claim 1 scale:
+// (i/2)·d for i=0..10 and 2^i·d up to the diameter. One representative
+// per (scale, quadrant-ish direction) is chosen at random among
+// candidates within a half-scale band.
+func RingLandmarks(coords [][2]int, c int, d, maxDim float64, rng *rand.Rand) []int {
+	if d <= 0 {
+		d = 1
+	}
+	var scales []float64
+	for i := 0; i <= 10; i++ {
+		scales = append(scales, float64(i)/2*d)
+	}
+	for s := d; s <= 2*maxDim; s *= 2 {
+		scales = append(scales, s)
+	}
+	cc := coords[c]
+	seen := make(map[int]bool)
+	var out []int
+	for _, s := range scales {
+		// Candidates in the band [s, s + d/2 + 1).
+		var band []int
+		for x, xy := range coords {
+			dist := float64(abs(xy[0]-cc[0]) + abs(xy[1]-cc[1]))
+			if dist >= s && dist < s+d/2+1 {
+				band = append(band, x)
+			}
+		}
+		if len(band) == 0 {
+			continue
+		}
+		pick := band[rng.Intn(len(band))]
+		if !seen[pick] {
+			seen[pick] = true
+			out = append(out, pick)
+		}
+	}
+	return out
+}
+
+// GreedyStats runs the Note 3 experiment: augment the mesh and measure
+// greedy-routing hops.
+func GreedyStats(t *Tree, trials int, rng *rand.Rand) smallworld.Stats {
+	a := Augment(t, rng)
+	return smallworld.Experiment(a, trials, rng, nil)
+}
+
+// Dim2Reference returns the Note 3 reference curve
+// 2^O(alpha) * k^2 log^2 n log^2 Delta with alpha=2, k=1 for the mesh.
+func Dim2Reference(n int, delta float64) float64 {
+	if n < 2 {
+		return 1
+	}
+	l := math.Log2(float64(n))
+	ld := math.Log2(math.Max(2, delta))
+	return 4 * l * l * ld * ld
+}

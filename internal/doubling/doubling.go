@@ -1,0 +1,378 @@
+// Package doubling implements Section 5.3 of the paper: (k,α)-doubling
+// separators — separators made of isometric subgraphs of low doubling
+// dimension instead of shortest paths — and the Theorem 8 distance oracle
+// they support.
+//
+// The paper motivates the generalization with the 3-D mesh: it has no
+// bounded k-path separator (a plane of Ω(n^{2/3}) vertices is needed),
+// yet an axis-aligned middle plane is an isometric 2-D mesh of doubling
+// dimension 2. DecomposeMesh3D builds that recursive plane decomposition;
+// BuildOracle attaches per-vertex ε-cover landmarks on each plane, using
+// the plane's closed-form Manhattan metric where the general construction
+// would attach Talwar-style labels (documented substitution; the (1+ε)
+// guarantee is preserved because the plane metric is exact).
+package doubling
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pathsep/internal/graph"
+	"pathsep/internal/shortest"
+)
+
+// Net computes a greedy r-net of the metric given by distances from the
+// subgraph's vertices: a subset of points pairwise more than r apart that
+// covers every point within r. dist(i, j) must be symmetric.
+func Net(n int, r float64, dist func(i, j int) float64) []int {
+	var net []int
+	for p := 0; p < n; p++ {
+		covered := false
+		for _, q := range net {
+			if dist(p, q) <= r {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			net = append(net, p)
+		}
+	}
+	return net
+}
+
+// EstimateDim estimates the doubling dimension of the graph's shortest
+// path metric: the max over sampled centers x and radii r of
+// log2(points of an r-net needed to cover the 2r-ball around x).
+func EstimateDim(g *graph.Graph, samples int, radii []float64) float64 {
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	if samples > n {
+		samples = n
+	}
+	worst := 0.0
+	for s := 0; s < samples; s++ {
+		x := (s * 2654435761) % n // deterministic spread
+		tr := shortest.Dijkstra(g, x)
+		for _, r := range radii {
+			// Points in the 2r ball.
+			var ball []int
+			for v := 0; v < n; v++ {
+				if tr.Dist[v] <= 2*r {
+					ball = append(ball, v)
+				}
+			}
+			if len(ball) < 2 {
+				continue
+			}
+			// Greedy r-net of the ball, distances within g (upper bounded
+			// by Dijkstra from each chosen net point lazily).
+			var net []int
+			dists := make([][]float64, 0, 8)
+			for _, p := range ball {
+				covered := false
+				for qi := range net {
+					if dists[qi][p] <= r {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					net = append(net, p)
+					dists = append(dists, shortest.Dijkstra(g, p).Dist)
+				}
+			}
+			if dim := math.Log2(float64(len(net))); dim > worst {
+				worst = dim
+			}
+		}
+	}
+	return worst
+}
+
+// Node is one box of the recursive 3-D mesh plane decomposition.
+type Node struct {
+	ID     int
+	Parent int
+	Depth  int
+	// Sub is the box subgraph with origin map to the root mesh.
+	Sub *graph.Sub
+	// Plane is the separator: local vertex IDs of the middle plane.
+	Plane []int
+	// Coords are 2-D coordinates of each plane vertex within the plane
+	// (the two axes orthogonal to the cut).
+	Coords [][2]int
+	// Children are node IDs of the two half-boxes.
+	Children []int
+}
+
+// Tree is the (1, 2)-doubling-separator decomposition of a 3-D mesh.
+type Tree struct {
+	G     *graph.Graph
+	Nodes []*Node
+	Home  []int
+	Depth int
+}
+
+// HomePath returns the node IDs from the root to the node whose plane
+// removed v.
+func (t *Tree) HomePath(v int) []int {
+	var rev []int
+	for id := t.Home[v]; id >= 0; id = t.Nodes[id].Parent {
+		rev = append(rev, id)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// DecomposeMesh3D builds the unit-weight a x b x c mesh and its recursive
+// middle-plane decomposition: every separator is a single isometric 2-D
+// mesh (a (1,2)-doubling separator), and each child box has at most half
+// the vertices.
+func DecomposeMesh3D(a, b, c int) (*Tree, error) {
+	if a < 1 || b < 1 || c < 1 {
+		return nil, fmt.Errorf("doubling: bad mesh dims %dx%dx%d", a, b, c)
+	}
+	g := graph.Mesh3D(a, b, c, graph.UnitWeights(), nil)
+	t := &Tree{G: g, Home: make([]int, g.N())}
+	for i := range t.Home {
+		t.Home[i] = -1
+	}
+	// Box: inclusive coordinate ranges.
+	type box struct {
+		lo, hi [3]int
+		parent int
+		depth  int
+	}
+	id := func(x, y, z int) int { return x + a*(y+b*z) }
+	var queue []box
+	queue = append(queue, box{lo: [3]int{0, 0, 0}, hi: [3]int{a - 1, b - 1, c - 1}, parent: -1})
+	for len(queue) > 0 {
+		bx := queue[0]
+		queue = queue[1:]
+		// Collect box vertices.
+		var verts []int
+		for z := bx.lo[2]; z <= bx.hi[2]; z++ {
+			for y := bx.lo[1]; y <= bx.hi[1]; y++ {
+				for x := bx.lo[0]; x <= bx.hi[0]; x++ {
+					verts = append(verts, id(x, y, z))
+				}
+			}
+		}
+		sub := graph.Induced(g, verts)
+		toLocal := make(map[int]int, len(verts))
+		for lv, ov := range sub.Orig {
+			toLocal[ov] = lv
+		}
+		node := &Node{ID: len(t.Nodes), Parent: bx.parent, Depth: bx.depth, Sub: sub}
+		t.Nodes = append(t.Nodes, node)
+		if bx.parent >= 0 {
+			t.Nodes[bx.parent].Children = append(t.Nodes[bx.parent].Children, node.ID)
+		}
+		if bx.depth > t.Depth {
+			t.Depth = bx.depth
+		}
+		// Longest axis.
+		axis := 0
+		for d := 1; d < 3; d++ {
+			if bx.hi[d]-bx.lo[d] > bx.hi[axis]-bx.lo[axis] {
+				axis = d
+			}
+		}
+		mid := (bx.lo[axis] + bx.hi[axis]) / 2
+		// Plane vertices and their 2-D coordinates.
+		oa, ob := (axis+1)%3, (axis+2)%3
+		var coordOf func(x, y, z int) [3]int
+		coordOf = func(x, y, z int) [3]int { return [3]int{x, y, z} }
+		for z := bx.lo[2]; z <= bx.hi[2]; z++ {
+			for y := bx.lo[1]; y <= bx.hi[1]; y++ {
+				for x := bx.lo[0]; x <= bx.hi[0]; x++ {
+					cd := coordOf(x, y, z)
+					if cd[axis] != mid {
+						continue
+					}
+					ov := id(x, y, z)
+					node.Plane = append(node.Plane, toLocal[ov])
+					node.Coords = append(node.Coords, [2]int{cd[oa], cd[ob]})
+					t.Home[ov] = node.ID
+				}
+			}
+		}
+		// Child boxes.
+		if mid > bx.lo[axis] {
+			lo, hi := bx.lo, bx.hi
+			hi[axis] = mid - 1
+			queue = append(queue, box{lo: lo, hi: hi, parent: node.ID, depth: bx.depth + 1})
+		}
+		if mid < bx.hi[axis] {
+			lo, hi := bx.lo, bx.hi
+			lo[axis] = mid + 1
+			queue = append(queue, box{lo: lo, hi: hi, parent: node.ID, depth: bx.depth + 1})
+		}
+	}
+	for v, h := range t.Home {
+		if h < 0 {
+			return nil, fmt.Errorf("doubling: vertex %d never separated", v)
+		}
+	}
+	return t, nil
+}
+
+// Landmark is one label entry: plane coordinates and the exact distance
+// from the labeled vertex within the box subgraph.
+type Landmark struct {
+	X, Y int
+	Dist float64
+}
+
+// LEntry is a vertex's landmark list for one (node, plane).
+type LEntry struct {
+	Node      int32
+	Landmarks []Landmark
+}
+
+// Label is a vertex's complete doubling-oracle label.
+type Label struct {
+	Entries []LEntry
+}
+
+// NumLandmarks returns the label size.
+func (l *Label) NumLandmarks() int {
+	total := 0
+	for _, e := range l.Entries {
+		total += len(e.Landmarks)
+	}
+	return total
+}
+
+// Oracle is the Theorem 8 distance oracle for the 3-D mesh family.
+type Oracle struct {
+	Labels []Label
+	Eps    float64
+}
+
+// BuildOracle attaches per-vertex ε-cover landmark sets on every plane of
+// the decomposition.
+func BuildOracle(t *Tree, eps float64) (*Oracle, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("doubling: epsilon must be positive")
+	}
+	o := &Oracle{Labels: make([]Label, t.G.N()), Eps: eps}
+	for _, node := range t.Nodes {
+		if len(node.Plane) == 0 {
+			continue
+		}
+		j := node.Sub.G
+		rootID := func(lv int) int { return node.Sub.Orig[lv] }
+		// Plane metric: Manhattan in plane coordinates (isometric since the
+		// mesh has unit weights).
+		planeDist := func(x, y int) float64 {
+			cx, cy := node.Coords[x], node.Coords[y]
+			return float64(abs(cx[0]-cy[0]) + abs(cx[1]-cy[1]))
+		}
+		for w := 0; w < j.N(); w++ {
+			tr := shortest.Dijkstra(j, w)
+			// Greedy ε-cover over plane vertices.
+			var chosen []int
+			for y, lv := range node.Plane {
+				dy := tr.Dist[lv]
+				if math.IsInf(dy, 1) {
+					continue
+				}
+				covered := false
+				for _, x := range chosen {
+					if tr.Dist[node.Plane[x]]+planeDist(x, y) <= (1+eps)*dy {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					chosen = append(chosen, y)
+				}
+			}
+			if len(chosen) == 0 {
+				continue
+			}
+			e := LEntry{Node: int32(node.ID)}
+			for _, x := range chosen {
+				e.Landmarks = append(e.Landmarks, Landmark{
+					X:    node.Coords[x][0],
+					Y:    node.Coords[x][1],
+					Dist: tr.Dist[node.Plane[x]],
+				})
+			}
+			lbl := &o.Labels[rootID(w)]
+			lbl.Entries = append(lbl.Entries, e)
+		}
+	}
+	for v := range o.Labels {
+		sort.Slice(o.Labels[v].Entries, func(i, j int) bool {
+			return o.Labels[v].Entries[i].Node < o.Labels[v].Entries[j].Node
+		})
+	}
+	return o, nil
+}
+
+// Query returns a (1+ε)-approximate distance, +Inf for vertices sharing
+// no decomposition node (cannot happen for a connected mesh).
+func (o *Oracle) Query(u, v int) float64 {
+	if u == v {
+		return 0
+	}
+	lu, lv := &o.Labels[u], &o.Labels[v]
+	best := math.Inf(1)
+	i, j := 0, 0
+	for i < len(lu.Entries) && j < len(lv.Entries) {
+		a, b := lu.Entries[i], lv.Entries[j]
+		switch {
+		case a.Node == b.Node:
+			for _, p := range a.Landmarks {
+				for _, q := range b.Landmarks {
+					est := p.Dist + float64(abs(p.X-q.X)+abs(p.Y-q.Y)) + q.Dist
+					if est < best {
+						best = est
+					}
+				}
+			}
+			i++
+			j++
+		case a.Node < b.Node:
+			i++
+		default:
+			j++
+		}
+	}
+	return best
+}
+
+// SpaceLandmarks returns total landmark entries across labels.
+func (o *Oracle) SpaceLandmarks() int {
+	total := 0
+	for i := range o.Labels {
+		total += o.Labels[i].NumLandmarks()
+	}
+	return total
+}
+
+// MaxLabelLandmarks returns the largest label.
+func (o *Oracle) MaxLabelLandmarks() int {
+	best := 0
+	for i := range o.Labels {
+		if s := o.Labels[i].NumLandmarks(); s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

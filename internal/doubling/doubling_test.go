@@ -1,0 +1,216 @@
+package doubling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pathsep/internal/graph"
+	"pathsep/internal/shortest"
+)
+
+func TestNetProperties(t *testing.T) {
+	// Points on a line, distance |i-j|.
+	n := 50
+	dist := func(i, j int) float64 { return math.Abs(float64(i - j)) }
+	for _, r := range []float64{1, 3, 10} {
+		net := Net(n, r, dist)
+		// Covering: every point within r of a net point.
+		for p := 0; p < n; p++ {
+			covered := false
+			for _, q := range net {
+				if dist(p, q) <= r {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("r=%v: point %d uncovered", r, p)
+			}
+		}
+		// Packing: net points pairwise > r apart.
+		for i := 0; i < len(net); i++ {
+			for j := i + 1; j < len(net); j++ {
+				if dist(net[i], net[j]) <= r {
+					t.Fatalf("r=%v: net points %d,%d too close", r, net[i], net[j])
+				}
+			}
+		}
+	}
+}
+
+func TestEstimateDimLineVsGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	line := graph.Path(64, graph.UnitWeights(), rng)
+	grid2 := graph.Mesh3D(8, 8, 1, graph.UnitWeights(), rng)
+	dLine := EstimateDim(line, 4, []float64{2, 4, 8})
+	dGrid := EstimateDim(grid2, 4, []float64{2, 4})
+	if dLine > 2.1 {
+		t.Errorf("line doubling dim estimate %v too high", dLine)
+	}
+	if dGrid <= dLine-0.5 {
+		t.Errorf("grid (%v) should not be far below line (%v)", dGrid, dLine)
+	}
+	if dGrid > 3.6 {
+		t.Errorf("2-D grid dim estimate %v too high", dGrid)
+	}
+}
+
+func TestDecomposeMesh3D(t *testing.T) {
+	tr, err := DecomposeMesh3D(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.G.N() != 64 {
+		t.Fatalf("n = %d", tr.G.N())
+	}
+	// Every vertex homed; home paths well-formed.
+	for v := 0; v < 64; v++ {
+		hp := tr.HomePath(v)
+		if len(hp) == 0 || hp[0] != 0 {
+			t.Fatalf("home path of %d: %v", v, hp)
+		}
+	}
+	// Children at most half the parent box.
+	for _, nd := range tr.Nodes {
+		for _, c := range nd.Children {
+			if tr.Nodes[c].Sub.G.N() > nd.Sub.G.N()/2 {
+				t.Fatalf("child %d has %d > half of %d", c, tr.Nodes[c].Sub.G.N(), nd.Sub.G.N())
+			}
+		}
+	}
+	// Planes are isometric 2-D meshes: check distances within the root
+	// plane match Manhattan coordinates.
+	root := tr.Nodes[0]
+	if len(root.Plane) == 0 {
+		t.Fatal("root has no plane")
+	}
+	j := root.Sub.G
+	tr0 := shortest.Dijkstra(j, root.Plane[0])
+	c0 := root.Coords[0]
+	for i, lv := range root.Plane {
+		want := float64(abs(root.Coords[i][0]-c0[0]) + abs(root.Coords[i][1]-c0[1]))
+		if math.Abs(tr0.Dist[lv]-want) > 1e-9 {
+			t.Fatalf("plane not isometric at %d: %v vs %v", i, tr0.Dist[lv], want)
+		}
+	}
+}
+
+func TestOracleStretchMesh(t *testing.T) {
+	tr, err := DecomposeMesh3D(5, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eps := range []float64{0.5, 0.2} {
+		o, err := BuildOracle(tr, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := tr.G
+		for u := 0; u < g.N(); u++ {
+			d := shortest.Dijkstra(g, u)
+			for v := 0; v < g.N(); v++ {
+				if u == v {
+					continue
+				}
+				est := o.Query(u, v)
+				if est < d.Dist[v]-1e-9 {
+					t.Fatalf("eps=%v: Query(%d,%d)=%v < %v", eps, u, v, est, d.Dist[v])
+				}
+				if est > (1+eps)*d.Dist[v]+1e-9 {
+					t.Fatalf("eps=%v: Query(%d,%d)=%v > (1+eps)*%v", eps, u, v, est, d.Dist[v])
+				}
+			}
+		}
+	}
+}
+
+func TestOracleSelfAndSpace(t *testing.T) {
+	tr, _ := DecomposeMesh3D(4, 4, 4)
+	o, err := BuildOracle(tr, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Query(5, 5) != 0 {
+		t.Fatal("self query")
+	}
+	if o.SpaceLandmarks() <= 0 || o.MaxLabelLandmarks() <= 0 {
+		t.Fatal("space accounting")
+	}
+	if _, err := BuildOracle(tr, 0); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+}
+
+func TestDecomposeMesh3DRejectsBadDims(t *testing.T) {
+	if _, err := DecomposeMesh3D(0, 3, 3); err == nil {
+		t.Fatal("bad dims accepted")
+	}
+}
+
+func TestLabelSizeSublinear(t *testing.T) {
+	small, _ := DecomposeMesh3D(4, 4, 2)
+	big, _ := DecomposeMesh3D(8, 8, 4)
+	oS, err := BuildOracle(small, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oB, err := BuildOracle(big, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8x vertices should grow max label far less than 8x.
+	if oB.MaxLabelLandmarks() > 6*oS.MaxLabelLandmarks() {
+		t.Errorf("label growth %d -> %d for 8x vertices", oS.MaxLabelLandmarks(), oB.MaxLabelLandmarks())
+	}
+}
+
+func TestAugmentNote3Delivers(t *testing.T) {
+	tr, err := DecomposeMesh3D(6, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(20))
+	a := Augment(tr, rng)
+	linked := 0
+	for v, l := range a.Long {
+		if l >= tr.G.N() {
+			t.Fatalf("contact %d out of range", l)
+		}
+		if l >= 0 && l != v {
+			linked++
+		}
+	}
+	if linked < tr.G.N()/2 {
+		t.Fatalf("only %d/%d vertices linked", linked, tr.G.N())
+	}
+	st := GreedyStats(tr, 40, rng)
+	if st.Delivered != 40 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// Reference sanity: hops below the Note 3 curve.
+	if ref := Dim2Reference(tr.G.N(), 16); st.MeanHops > ref {
+		t.Errorf("meanHops %v above reference %v", st.MeanHops, ref)
+	}
+}
+
+func TestRingLandmarksScales(t *testing.T) {
+	// A 9x9 plane: landmarks must cover multiple rings around the center.
+	coords := make([][2]int, 0, 81)
+	for y := 0; y < 9; y++ {
+		for x := 0; x < 9; x++ {
+			coords = append(coords, [2]int{x, y})
+		}
+	}
+	rng := rand.New(rand.NewSource(21))
+	center := 40 // (4,4)
+	lm := RingLandmarks(coords, center, 2, 16, rng)
+	if len(lm) < 3 {
+		t.Fatalf("only %d landmarks", len(lm))
+	}
+	for _, x := range lm {
+		if x < 0 || x >= len(coords) {
+			t.Fatalf("landmark %d out of range", x)
+		}
+	}
+}

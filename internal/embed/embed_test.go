@@ -1,0 +1,242 @@
+package embed
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathsep/internal/graph"
+)
+
+func TestGridEmbeddingValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dim := range [][2]int{{2, 2}, {3, 5}, {7, 7}, {1, 6}, {10, 3}} {
+		r := Grid(dim[0], dim[1], graph.UnitWeights(), rng)
+		if err := r.Validate(); err != nil {
+			t.Errorf("grid %v: %v", dim, err)
+		}
+	}
+}
+
+func TestGridFaceCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	r := Grid(4, 5, graph.UnitWeights(), rng)
+	faces, err := r.Faces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3x4 = 12 inner square faces + 1 outer face.
+	if len(faces) != 13 {
+		t.Fatalf("faces = %d, want 13", len(faces))
+	}
+	// Exactly one face with more than 4 vertices (the outer face).
+	big := 0
+	for _, f := range faces {
+		if len(f) > 4 {
+			big++
+		}
+	}
+	if big != 1 {
+		t.Fatalf("big faces = %d, want 1", big)
+	}
+}
+
+func TestGridDiagonalsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for seed := 0; seed < 5; seed++ {
+		r := GridDiagonals(6, 6, graph.UnitWeights(), rng)
+		if err := r.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestApollonianValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{3, 4, 10, 50, 200} {
+		r := Apollonian(n, graph.UnitWeights(), rng)
+		if err := r.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Maximal planar: m = 3n - 6.
+		if m := r.G.M(); m != 3*n-6 {
+			t.Fatalf("n=%d: m=%d, want %d", n, m, 3*n-6)
+		}
+		faces, err := r.Faces()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// All faces triangles in a maximal planar graph.
+		for _, f := range faces {
+			if len(f) != 3 {
+				t.Fatalf("n=%d: face of size %d", n, len(f))
+			}
+		}
+	}
+}
+
+func TestOuterplanarValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{3, 8, 30, 100} {
+		r := Outerplanar(n, n, graph.UnitWeights(), rng)
+		if err := r.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !graph.IsConnected(r.G) {
+			t.Fatalf("n=%d: disconnected", n)
+		}
+	}
+}
+
+func TestValidateRejectsBadRotation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	r := Grid(3, 3, graph.UnitWeights(), rng)
+	// Remove an entry from one rotation.
+	r.Order[4] = r.Order[4][:len(r.Order[4])-1]
+	if err := r.Validate(); err == nil {
+		t.Fatal("expected validation error for truncated rotation")
+	}
+}
+
+func TestValidateRejectsNonPlanarOrder(t *testing.T) {
+	// K5 with an arbitrary rotation cannot satisfy Euler's formula.
+	rng := rand.New(rand.NewSource(7))
+	g := graph.Complete(5, graph.UnitWeights(), rng)
+	order := make([][]int, 5)
+	for v := 0; v < 5; v++ {
+		order[v] = g.SortedNeighbors(v)
+	}
+	r := &Rotation{G: g, Order: order}
+	if err := r.Validate(); err == nil {
+		t.Fatal("K5 should fail the Euler check for any rotation")
+	}
+}
+
+func TestRestrictKeepsPlanarity(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	r := Apollonian(60, graph.UnitWeights(), rng)
+	// Remove 10 random vertices.
+	keep := make([]int, 0, 50)
+	drop := map[int]bool{}
+	for len(drop) < 10 {
+		drop[rng.Intn(60)] = true
+	}
+	for v := 0; v < 60; v++ {
+		if !drop[v] {
+			keep = append(keep, v)
+		}
+	}
+	sub := graph.Induced(r.G, keep)
+	rr := r.Restrict(sub)
+	if err := rr.Validate(); err != nil {
+		t.Fatalf("restricted rotation invalid: %v", err)
+	}
+}
+
+func TestTriangulateGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	r := Grid(5, 5, graph.UnitWeights(), rng)
+	tri, err := Triangulate(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tri.N != 25 {
+		t.Fatalf("N=%d", tri.N)
+	}
+	if tri.RealM != r.G.M() {
+		t.Fatalf("RealM=%d, want %d", tri.RealM, r.G.M())
+	}
+	// Triangulated planar: F = 2E/3... each edge on 2 faces, each face 3
+	// edges: 3F = 2E.
+	if 3*len(tri.Faces) != 2*tri.M() {
+		t.Fatalf("3F=%d != 2E=%d", 3*len(tri.Faces), 2*tri.M())
+	}
+	// Euler: V - E + F = 2.
+	if tri.N-tri.M()+len(tri.Faces) != 2 {
+		t.Fatalf("Euler: %d - %d + %d != 2", tri.N, tri.M(), len(tri.Faces))
+	}
+}
+
+func TestTriangulateApollonianIsNoOp(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	r := Apollonian(40, graph.UnitWeights(), rng)
+	tri, err := Triangulate(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tri.M() != tri.RealM {
+		t.Fatalf("added %d chords to a maximal planar graph", tri.M()-tri.RealM)
+	}
+}
+
+func TestTriangulatePathGraph(t *testing.T) {
+	// A path is a degenerate embedded graph (single face, spurs at leaves);
+	// triangulation must still succeed.
+	rng := rand.New(rand.NewSource(11))
+	g := graph.Path(6, graph.UnitWeights(), rng)
+	order := make([][]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		order[v] = g.SortedNeighbors(v)
+	}
+	r := &Rotation{G: g, Order: order}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("path embedding: %v", err)
+	}
+	tri, err := Triangulate(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tri.N-tri.M()+len(tri.Faces) != 2 {
+		t.Fatalf("Euler fails: V=%d E=%d F=%d", tri.N, tri.M(), len(tri.Faces))
+	}
+}
+
+func TestDualTreeSpansFaces(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	r := Grid(6, 6, graph.UnitWeights(), rng)
+	tri, err := Triangulate(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a BFS spanning tree of the real graph.
+	isTree := make([]bool, tri.RealM)
+	visited := make([]bool, tri.N)
+	visited[0] = true
+	queue := []int{0}
+	parentEdgeOf := func(u, v int) int { return tri.EdgeID(u, v) }
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, h := range r.G.Neighbors(v) {
+			if !visited[h.To] {
+				visited[h.To] = true
+				isTree[parentEdgeOf(v, h.To)] = true
+				queue = append(queue, h.To)
+			}
+		}
+	}
+	parent, parentEdge, post, err := tri.DualTree(isTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parent) != len(tri.Faces) || len(post) != len(tri.Faces) {
+		t.Fatal("dual tree size mismatch")
+	}
+	// Every non-root face has a parent edge that is non-tree.
+	for f := 1; f < len(tri.Faces); f++ {
+		e := parentEdge[f]
+		if e < 0 {
+			t.Fatalf("face %d has no parent edge", f)
+		}
+		if e < tri.RealM && isTree[e] {
+			t.Fatalf("face %d parent edge %d is a tree edge", f, e)
+		}
+	}
+	// Postorder visits children before parents.
+	seen := make([]bool, len(tri.Faces))
+	for _, f := range post {
+		if parent[f] >= 0 && seen[parent[f]] {
+			t.Fatal("postorder visited parent before child")
+		}
+		seen[f] = true
+	}
+}

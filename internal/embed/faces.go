@@ -1,0 +1,104 @@
+package embed
+
+import (
+	"fmt"
+
+	"pathsep/internal/graph"
+)
+
+// FromFaces reconstructs the rotation system from a complete face list:
+// every directed edge (u,v) must appear in exactly one face walk, and the
+// walk relation "after entering v from u, leave toward w" defines the
+// cyclic neighbor order at v. This converts the face-based output of the
+// DMP planar embedding algorithm (and hand-written face lists) into the
+// Rotation the separator machinery consumes.
+func FromFaces(g *graph.Graph, faces [][]int) (*Rotation, error) {
+	n := g.N()
+	// successor[v][u] = w  means: in rot[v], the neighbor after u is w.
+	succ := make([]map[int]int, n)
+	for v := 0; v < n; v++ {
+		succ[v] = make(map[int]int, g.Degree(v))
+	}
+	seen := make(map[[2]int]bool, 2*g.M())
+	for fi, f := range faces {
+		if len(f) < 2 {
+			return nil, fmt.Errorf("embed: face %d too short", fi)
+		}
+		for i := range f {
+			u := f[i]
+			v := f[(i+1)%len(f)]
+			w := f[(i+2)%len(f)]
+			if u < 0 || u >= n || v < 0 || v >= n {
+				return nil, fmt.Errorf("embed: face %d has out-of-range vertex", fi)
+			}
+			if !g.HasEdge(u, v) {
+				return nil, fmt.Errorf("embed: face %d uses non-edge {%d,%d}", fi, u, v)
+			}
+			de := [2]int{u, v}
+			if seen[de] {
+				return nil, fmt.Errorf("embed: directed edge %d->%d on two faces", u, v)
+			}
+			seen[de] = true
+			if old, ok := succ[v][u]; ok && old != w {
+				return nil, fmt.Errorf("embed: conflicting successors at %d after %d", v, u)
+			}
+			succ[v][u] = w
+		}
+	}
+	if len(seen) != 2*g.M() {
+		return nil, fmt.Errorf("embed: %d directed edges covered, want %d", len(seen), 2*g.M())
+	}
+	// Rebuild each rotation by following the successor cycle.
+	order := make([][]int, n)
+	for v := 0; v < n; v++ {
+		deg := g.Degree(v)
+		if deg == 0 {
+			continue
+		}
+		start := g.Neighbors(v)[0].To
+		cur := start
+		for i := 0; i < deg; i++ {
+			order[v] = append(order[v], cur)
+			next, ok := succ[v][cur]
+			if !ok {
+				return nil, fmt.Errorf("embed: no successor of %d at %d", cur, v)
+			}
+			cur = next
+		}
+		if cur != start {
+			return nil, fmt.Errorf("embed: successor relation at %d is not a single cycle", v)
+		}
+	}
+	r := &Rotation{G: g, Order: order}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Genus returns the Euler genus of the (connected) embedding:
+// 2 - V + E - F. Zero means planar.
+func (r *Rotation) Genus() (int, error) {
+	faces, err := r.Faces()
+	if err != nil {
+		return 0, err
+	}
+	if !graph.IsConnected(r.G) {
+		return 0, fmt.Errorf("embed: genus defined per connected embedding")
+	}
+	return 2 - r.G.N() + r.G.M() - len(faces), nil
+}
+
+// FaceSizes returns a histogram of face walk lengths, a quick shape
+// diagnostic (a triangulation reports only size 3).
+func (r *Rotation) FaceSizes() (map[int]int, error) {
+	faces, err := r.Faces()
+	if err != nil {
+		return nil, err
+	}
+	h := make(map[int]int)
+	for _, f := range faces {
+		h[len(f)]++
+	}
+	return h, nil
+}

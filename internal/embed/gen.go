@@ -1,0 +1,219 @@
+package embed
+
+import (
+	"math/rand"
+
+	"pathsep/internal/graph"
+)
+
+// Grid returns the rows x cols grid graph together with its planar
+// embedding. Vertex (x,y) has ID x + cols*y.
+func Grid(rows, cols int, w graph.WeightFn, rng *rand.Rand) *Rotation {
+	n := rows * cols
+	id := func(x, y int) int { return x + cols*y }
+	b := graph.NewBuilder(n)
+	for y := 0; y < rows; y++ {
+		for x := 0; x < cols; x++ {
+			v := id(x, y)
+			if x+1 < cols {
+				b.AddEdge(v, id(x+1, y), w(v, id(x+1, y), rng))
+			}
+			if y+1 < rows {
+				b.AddEdge(v, id(x, y+1), w(v, id(x, y+1), rng))
+			}
+		}
+	}
+	g := b.Build()
+	order := make([][]int, n)
+	for y := 0; y < rows; y++ {
+		for x := 0; x < cols; x++ {
+			v := id(x, y)
+			// Counterclockwise: E, N, W, S.
+			var o []int
+			if x+1 < cols {
+				o = append(o, id(x+1, y))
+			}
+			if y+1 < rows {
+				o = append(o, id(x, y+1))
+			}
+			if x > 0 {
+				o = append(o, id(x-1, y))
+			}
+			if y > 0 {
+				o = append(o, id(x, y-1))
+			}
+			order[v] = o
+		}
+	}
+	return &Rotation{G: g, Order: order}
+}
+
+// GridDiagonals returns the rows x cols grid with one uniformly random
+// diagonal added in each unit cell, with its planar embedding.
+func GridDiagonals(rows, cols int, w graph.WeightFn, rng *rand.Rand) *Rotation {
+	n := rows * cols
+	id := func(x, y int) int { return x + cols*y }
+	// diag[cellIndex] = true for the / diagonal (SW-NE), false for \ (NW-SE).
+	type edge struct{ u, v int }
+	var edges []edge
+	for y := 0; y < rows; y++ {
+		for x := 0; x < cols; x++ {
+			v := id(x, y)
+			if x+1 < cols {
+				edges = append(edges, edge{v, id(x+1, y)})
+			}
+			if y+1 < rows {
+				edges = append(edges, edge{v, id(x, y+1)})
+			}
+			if x+1 < cols && y+1 < rows {
+				if rng.Intn(2) == 0 {
+					edges = append(edges, edge{v, id(x+1, y+1)}) // NE from v
+				} else {
+					edges = append(edges, edge{id(x+1, y), id(x, y+1)}) // NW from (x+1,y)
+				}
+			}
+		}
+	}
+	b := graph.NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e.u, e.v, w(e.u, e.v, rng))
+	}
+	g := b.Build()
+	// Rotation: neighbors sorted counterclockwise by direction.
+	order := make([][]int, n)
+	dirRank := func(v, u int) int {
+		vx, vy := v%cols, v/cols
+		ux, uy := u%cols, u/cols
+		dx, dy := ux-vx, uy-vy
+		switch {
+		case dx == 1 && dy == 0:
+			return 0 // E
+		case dx == 1 && dy == 1:
+			return 1 // NE
+		case dx == 0 && dy == 1:
+			return 2 // N
+		case dx == -1 && dy == 1:
+			return 3 // NW
+		case dx == -1 && dy == 0:
+			return 4 // W
+		case dx == -1 && dy == -1:
+			return 5 // SW
+		case dx == 0 && dy == -1:
+			return 6 // S
+		default:
+			return 7 // SE
+		}
+	}
+	for v := 0; v < n; v++ {
+		o := make([]int, 0, g.Degree(v))
+		for _, h := range g.Neighbors(v) {
+			o = append(o, h.To)
+		}
+		// insertion sort by direction rank
+		for i := 1; i < len(o); i++ {
+			for j := i; j > 0 && dirRank(v, o[j]) < dirRank(v, o[j-1]); j-- {
+				o[j], o[j-1] = o[j-1], o[j]
+			}
+		}
+		order[v] = o
+	}
+	return &Rotation{G: g, Order: order}
+}
+
+// Apollonian returns a random stacked triangulation (Apollonian network)
+// on n >= 3 vertices with its planar embedding: starting from a triangle,
+// each new vertex is inserted into a uniformly random face and joined to
+// its three corners. Apollonian networks are maximal planar 3-trees.
+func Apollonian(n int, w graph.WeightFn, rng *rand.Rand) *Rotation {
+	if n < 3 {
+		n = 3
+	}
+	rot := make([][]int, n)
+	rot[0] = []int{1, 2}
+	rot[1] = []int{2, 0}
+	rot[2] = []int{0, 1}
+	type face [3]int
+	faces := []face{{0, 1, 2}, {1, 0, 2}}
+	insertAfter := func(x, after, nv int) {
+		for i, u := range rot[x] {
+			if u == after {
+				rot[x] = append(rot[x], 0)
+				copy(rot[x][i+2:], rot[x][i+1:])
+				rot[x][i+1] = nv
+				return
+			}
+		}
+	}
+	type edge struct{ u, v int }
+	edges := []edge{{0, 1}, {1, 2}, {2, 0}}
+	for v := 3; v < n; v++ {
+		fi := rng.Intn(len(faces))
+		f := faces[fi]
+		a, b, c := f[0], f[1], f[2]
+		// Insert v after the walk-predecessor at each corner.
+		insertAfter(a, c, v)
+		insertAfter(b, a, v)
+		insertAfter(c, b, v)
+		rot[v] = []int{a, c, b}
+		faces[fi] = face{a, b, v}
+		faces = append(faces, face{b, c, v}, face{c, a, v})
+		edges = append(edges, edge{a, v}, edge{b, v}, edge{c, v})
+	}
+	bd := graph.NewBuilder(n)
+	for _, e := range edges {
+		bd.AddEdge(e.u, e.v, w(e.u, e.v, rng))
+	}
+	return &Rotation{G: bd.Build(), Order: rot}
+}
+
+// Outerplanar returns a random maximal-ish outerplanar graph: the n-cycle
+// plus `chords` random non-crossing chords, with its planar embedding
+// (vertices on a convex polygon; neighbors ordered by circular position).
+func Outerplanar(n, chords int, w graph.WeightFn, rng *rand.Rand) *Rotation {
+	if n < 3 {
+		n = 3
+	}
+	type iv struct{ lo, hi int } // chordable interval of polygon positions
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n, w(i, (i+1)%n, rng))
+	}
+	intervals := []iv{{0, n - 1}}
+	added := 0
+	for added < chords && len(intervals) > 0 {
+		i := rng.Intn(len(intervals))
+		span := intervals[i]
+		if span.hi-span.lo < 2 {
+			intervals[i] = intervals[len(intervals)-1]
+			intervals = intervals[:len(intervals)-1]
+			continue
+		}
+		// Pick a chord endpoint pair (lo..m, m..hi split) avoiding existing
+		// polygon edges.
+		m := span.lo + 1 + rng.Intn(span.hi-span.lo-1)
+		u, v := span.lo, span.hi
+		// chord (u,v) unless it is the closing polygon edge (0, n-1) handled:
+		if !(u == 0 && v == n-1) {
+			b.AddEdge(u, v, w(u, v, rng))
+			added++
+		}
+		intervals[i] = iv{span.lo, m}
+		intervals = append(intervals, iv{m, span.hi})
+	}
+	g := b.Build()
+	order := make([][]int, n)
+	for v := 0; v < n; v++ {
+		o := make([]int, 0, g.Degree(v))
+		for _, h := range g.Neighbors(v) {
+			o = append(o, h.To)
+		}
+		rank := func(u int) int { return (u - v + n) % n }
+		for i := 1; i < len(o); i++ {
+			for j := i; j > 0 && rank(o[j]) < rank(o[j-1]); j-- {
+				o[j], o[j-1] = o[j-1], o[j]
+			}
+		}
+		order[v] = o
+	}
+	return &Rotation{G: g, Order: order}
+}

@@ -1,0 +1,458 @@
+package embed
+
+import (
+	"fmt"
+	"sort"
+
+	"pathsep/internal/graph"
+)
+
+// ErrNonPlanar is wrapped by Planarize when the input has no planar
+// embedding.
+var ErrNonPlanar = fmt.Errorf("embed: graph is not planar")
+
+// Planarize computes a planar embedding (rotation system) of g, or
+// reports non-planarity, using the Demoucron–Malgrange–Pertuiset
+// incremental face-expansion algorithm on each biconnected block and
+// merging block rotations at cut vertices. O(n·m); intended for graphs up
+// to a few thousand vertices — large enough for every separator
+// experiment, and it frees callers from providing rotations.
+func Planarize(g *graph.Graph) (*Rotation, error) {
+	n := g.N()
+	order := make([][]int, n)
+	for _, block := range biconnectedBlocks(g) {
+		sub := graph.Induced(g, block)
+		var blockOrder [][]int
+		if sub.G.M() == sub.G.N()-1 {
+			// A tree block (single edge or isolated chain): any rotation
+			// is planar.
+			blockOrder = make([][]int, sub.G.N())
+			for v := 0; v < sub.G.N(); v++ {
+				blockOrder[v] = sub.G.SortedNeighbors(v)
+			}
+		} else {
+			faces, err := dmpEmbed(sub.G)
+			if err != nil {
+				return nil, err
+			}
+			r, err := FromFaces(sub.G, faces)
+			if err != nil {
+				return nil, fmt.Errorf("embed: internal: DMP faces invalid: %w", err)
+			}
+			blockOrder = r.Order
+		}
+		// Merge into the global rotation: blocks share only cut vertices,
+		// and concatenating their cyclic orders nests the blocks in
+		// consecutive corners around the cut vertex.
+		for sv, ov := range sub.Orig {
+			for _, sw := range blockOrder[sv] {
+				order[ov] = append(order[ov], sub.Orig[sw])
+			}
+		}
+	}
+	r := &Rotation{G: g, Order: order}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("embed: merged embedding invalid: %w", err)
+	}
+	return r, nil
+}
+
+// biconnectedBlocks returns the vertex sets of the biconnected components
+// of g (classic Hopcroft–Tarjan lowpoint algorithm, iterative). Cut
+// vertices appear in several blocks. Isolated vertices become singleton
+// blocks.
+func biconnectedBlocks(g *graph.Graph) [][]int {
+	n := g.N()
+	num := make([]int, n)
+	low := make([]int, n)
+	parent := make([]int, n)
+	for i := range num {
+		num[i] = -1
+		parent[i] = -1
+	}
+	var blocks [][]int
+	type stackEdge struct{ u, v int }
+	var edgeStack []stackEdge
+	counter := 0
+
+	popBlock := func(u, v int) {
+		seen := map[int]bool{}
+		var block []int
+		for len(edgeStack) > 0 {
+			e := edgeStack[len(edgeStack)-1]
+			edgeStack = edgeStack[:len(edgeStack)-1]
+			for _, x := range []int{e.u, e.v} {
+				if !seen[x] {
+					seen[x] = true
+					block = append(block, x)
+				}
+			}
+			if e.u == u && e.v == v {
+				break
+			}
+		}
+		if len(block) > 0 {
+			sort.Ints(block)
+			blocks = append(blocks, block)
+		}
+	}
+
+	for root := 0; root < n; root++ {
+		if num[root] >= 0 {
+			continue
+		}
+		if g.Degree(root) == 0 {
+			blocks = append(blocks, []int{root})
+			continue
+		}
+		// Iterative DFS with per-vertex neighbor cursor.
+		type frame struct{ v, idx int }
+		stack := []frame{{root, 0}}
+		num[root] = counter
+		low[root] = counter
+		counter++
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			v := f.v
+			if f.idx < g.Degree(v) {
+				h := g.Neighbors(v)[f.idx]
+				f.idx++
+				w := h.To
+				if num[w] < 0 {
+					edgeStack = append(edgeStack, stackEdge{v, w})
+					parent[w] = v
+					num[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, frame{w, 0})
+				} else if w != parent[v] && num[w] < num[v] {
+					edgeStack = append(edgeStack, stackEdge{v, w})
+					if num[w] < low[v] {
+						low[v] = num[w]
+					}
+				}
+			} else {
+				stack = stack[:len(stack)-1]
+				if len(stack) > 0 {
+					p := stack[len(stack)-1].v
+					if low[v] < low[p] {
+						low[p] = low[v]
+					}
+					if low[v] >= num[p] {
+						popBlock(p, v)
+					}
+				}
+			}
+		}
+	}
+	return blocks
+}
+
+// dmpEmbed embeds a biconnected graph (local IDs 0..n-1) and returns its
+// face list, or ErrNonPlanar.
+func dmpEmbed(g *graph.Graph) ([][]int, error) {
+	n := g.N()
+	if n < 3 {
+		return nil, fmt.Errorf("embed: dmp needs >= 3 vertices, got %d", n)
+	}
+	// Quick necessary condition.
+	if g.M() > 3*n-6 {
+		return nil, fmt.Errorf("%w: m=%d > 3n-6", ErrNonPlanar, g.M())
+	}
+	// Initial cycle via DFS back edge.
+	cycle := findCycle(g)
+	if cycle == nil {
+		return nil, fmt.Errorf("embed: biconnected block without a cycle")
+	}
+	inH := make([]bool, n) // vertex embedded
+	for _, v := range cycle {
+		inH[v] = true
+	}
+	type ekey [2]int
+	embedded := map[ekey]bool{}
+	markEdge := func(u, v int) {
+		if u > v {
+			u, v = v, u
+		}
+		embedded[ekey{u, v}] = true
+	}
+	isEmbedded := func(u, v int) bool {
+		if u > v {
+			u, v = v, u
+		}
+		return embedded[ekey{u, v}]
+	}
+	for i := range cycle {
+		markEdge(cycle[i], cycle[(i+1)%len(cycle)])
+	}
+	// Two faces: the cycle and its reverse.
+	faces := [][]int{append([]int(nil), cycle...), reversed(cycle)}
+	remaining := g.M() - len(cycle)
+
+	for remaining > 0 {
+		bridges := findBridges(g, inH, isEmbedded)
+		if len(bridges) == 0 {
+			return nil, fmt.Errorf("embed: internal: %d edges unembedded but no bridges", remaining)
+		}
+		// Admissible faces per bridge; pick the bridge with the fewest.
+		bestB, bestFaces := -1, []int(nil)
+		for bi, br := range bridges {
+			var adm []int
+			for fi, f := range faces {
+				if faceContainsAll(f, br.attachments) {
+					adm = append(adm, fi)
+				}
+			}
+			if len(adm) == 0 {
+				return nil, fmt.Errorf("%w: bridge with attachments %v fits no face", ErrNonPlanar, br.attachments)
+			}
+			if bestB < 0 || len(adm) < len(bestFaces) {
+				bestB, bestFaces = bi, adm
+				if len(adm) == 1 {
+					break
+				}
+			}
+		}
+		br := bridges[bestB]
+		fi := bestFaces[0]
+		path := bridgePath(g, br, inH)
+		if len(path) < 2 {
+			return nil, fmt.Errorf("embed: internal: degenerate bridge path %v", path)
+		}
+		// Split face fi along the path.
+		f1, f2, err := splitFace(faces[fi], path)
+		if err != nil {
+			return nil, err
+		}
+		faces[fi] = f1
+		faces = append(faces, f2)
+		for i := 0; i+1 < len(path); i++ {
+			markEdge(path[i], path[i+1])
+			remaining--
+		}
+		for _, v := range path {
+			inH[v] = true
+		}
+	}
+	return faces, nil
+}
+
+// bridge is a connectivity component of G relative to the embedded
+// subgraph H: either a single unembedded chord between two H-vertices, or
+// a component of G−V(H) with its attachment vertices.
+type bridge struct {
+	attachments []int
+	// members are the interior vertices of the component (nil for a
+	// chord); the embedding path must stay inside them.
+	members map[int]bool
+	// chord endpoints when members == nil.
+	u, v int
+}
+
+func findBridges(g *graph.Graph, inH []bool, isEmbedded func(u, v int) bool) []bridge {
+	n := g.N()
+	var out []bridge
+	// Chords.
+	g.Edges(func(u, v int, _ float64) {
+		if inH[u] && inH[v] && !isEmbedded(u, v) {
+			out = append(out, bridge{attachments: []int{u, v}, u: u, v: v})
+		}
+	})
+	// Components of G - V(H).
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	for s := 0; s < n; s++ {
+		if inH[s] || comp[s] >= 0 {
+			continue
+		}
+		id := len(out)
+		stack := []int{s}
+		comp[s] = id
+		members := map[int]bool{s: true}
+		attach := map[int]bool{}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, h := range g.Neighbors(v) {
+				if inH[h.To] {
+					attach[h.To] = true
+				} else if comp[h.To] < 0 {
+					comp[h.To] = id
+					members[h.To] = true
+					stack = append(stack, h.To)
+				}
+			}
+		}
+		atts := make([]int, 0, len(attach))
+		for v := range attach {
+			atts = append(atts, v)
+		}
+		sort.Ints(atts)
+		out = append(out, bridge{attachments: atts, members: members})
+	}
+	return out
+}
+
+// bridgePath returns a path between two distinct attachments of the
+// bridge: directly for a chord, through the component interior otherwise.
+func bridgePath(g *graph.Graph, br bridge, inH []bool) []int {
+	if br.members == nil {
+		return []int{br.u, br.v}
+	}
+	if len(br.attachments) == 1 {
+		// Possible only in non-2-connected leftovers; embed a pendant edge
+		// from the attachment into this bridge's interior.
+		a := br.attachments[0]
+		for _, h := range g.Neighbors(a) {
+			if br.members[h.To] {
+				return []int{a, h.To}
+			}
+		}
+		return nil
+	}
+	a, b := br.attachments[0], br.attachments[1]
+	// BFS from a strictly through THIS bridge's interior to b.
+	prev := map[int]int{a: a}
+	queue := []int{a}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, h := range g.Neighbors(v) {
+			w := h.To
+			if _, seen := prev[w]; seen {
+				continue
+			}
+			if w == b {
+				if v == a {
+					continue // a direct chord is its own bridge; need interior
+				}
+				prev[w] = v
+				path := []int{b}
+				for x := v; x != a; x = prev[x] {
+					path = append(path, x)
+				}
+				path = append(path, a)
+				reverse(path)
+				return path
+			}
+			if br.members[w] {
+				prev[w] = v
+				queue = append(queue, w)
+			}
+		}
+	}
+	return nil
+}
+
+// splitFace splits a face cycle along a path whose endpoints lie on the
+// face, returning the two new face cycles.
+func splitFace(face, path []int) ([]int, []int, error) {
+	a, b := path[0], path[len(path)-1]
+	ia, ib := -1, -1
+	for i, v := range face {
+		if v == a && ia < 0 {
+			ia = i
+		}
+		if v == b && ib < 0 {
+			ib = i
+		}
+	}
+	if ia < 0 || ib < 0 || ia == ib {
+		return nil, nil, fmt.Errorf("embed: path endpoints %d,%d not on face %v", a, b, face)
+	}
+	m := len(face)
+	arc := func(from, to int) []int {
+		var out []int
+		for i := from; ; i = (i + 1) % m {
+			out = append(out, face[i])
+			if i == to {
+				break
+			}
+		}
+		return out
+	}
+	interior := path[1 : len(path)-1]
+	// Face 1: a..b along the face, then path interior reversed (b->a).
+	f1 := arc(ia, ib)
+	for i := len(interior) - 1; i >= 0; i-- {
+		f1 = append(f1, interior[i])
+	}
+	// Face 2: b..a along the face, then path interior forward (a->b).
+	f2 := arc(ib, ia)
+	f2 = append(f2, interior...)
+	return f1, f2, nil
+}
+
+func findCycle(g *graph.Graph) []int {
+	n := g.N()
+	parent := make([]int, n)
+	state := make([]int, n) // 0 unseen, 1 active, 2 done
+	for i := range parent {
+		parent[i] = -1
+	}
+	for root := 0; root < n; root++ {
+		if state[root] != 0 {
+			continue
+		}
+		type frame struct{ v, idx int }
+		stack := []frame{{root, 0}}
+		state[root] = 1
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			v := f.v
+			if f.idx < g.Degree(v) {
+				w := g.Neighbors(v)[f.idx].To
+				f.idx++
+				if state[w] == 0 {
+					parent[w] = v
+					state[w] = 1
+					stack = append(stack, frame{w, 0})
+				} else if w != parent[v] && state[w] == 1 {
+					// Cycle: w .. v via parents.
+					cycle := []int{w}
+					for x := v; x != w; x = parent[x] {
+						cycle = append(cycle, x)
+					}
+					reverse(cycle[1:])
+					return cycle
+				}
+			} else {
+				state[v] = 2
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return nil
+}
+
+func faceContainsAll(face, verts []int) bool {
+	if len(verts) > len(face) {
+		return false
+	}
+	set := make(map[int]bool, len(face))
+	for _, v := range face {
+		set[v] = true
+	}
+	for _, v := range verts {
+		if !set[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func reversed(s []int) []int {
+	out := make([]int, len(s))
+	for i, v := range s {
+		out[len(s)-1-i] = v
+	}
+	return out
+}
+
+func reverse(s []int) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}

@@ -1,0 +1,234 @@
+package embed
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"pathsep/internal/graph"
+)
+
+func TestPlanarizeGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dim := range [][2]int{{3, 3}, {5, 7}, {10, 10}} {
+		// Forget the generator's rotation; re-embed from the bare graph.
+		g := Grid(dim[0], dim[1], graph.UnitWeights(), rng).G
+		r, err := Planarize(g)
+		if err != nil {
+			t.Fatalf("grid %v: %v", dim, err)
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("grid %v: %v", dim, err)
+		}
+		if genus, err := r.Genus(); err != nil || genus != 0 {
+			t.Fatalf("grid %v: genus %d err %v", dim, genus, err)
+		}
+	}
+}
+
+func TestPlanarizeApollonian(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{10, 60, 200} {
+		g := Apollonian(n, graph.UnitWeights(), rng).G
+		r, err := Planarize(g)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if genus, err := r.Genus(); err != nil || genus != 0 {
+			t.Fatalf("n=%d: genus %d err %v", n, genus, err)
+		}
+		// Maximal planar: the re-derived embedding must be a triangulation.
+		sizes, err := r.FaceSizes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := range sizes {
+			if s != 3 {
+				t.Fatalf("n=%d: face of size %d in a maximal planar graph", n, s)
+			}
+		}
+	}
+}
+
+func TestPlanarizeTreesAndCutVertices(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tree := graph.RandomTree(40, graph.UnitWeights(), rng)
+	r, err := Planarize(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Two cycles sharing one cut vertex.
+	b := graph.NewBuilder(9)
+	for i := 0; i < 4; i++ {
+		b.AddEdge(i, (i+1)%5, 1)
+	}
+	b.AddEdge(4, 0, 1)
+	b.AddEdge(0, 5, 1)
+	b.AddEdge(5, 6, 1)
+	b.AddEdge(6, 7, 1)
+	b.AddEdge(7, 8, 1)
+	b.AddEdge(8, 0, 1)
+	g := b.Build()
+	r2, err := Planarize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if genus, err := r2.Genus(); err != nil || genus != 0 {
+		t.Fatalf("figure-eight genus %d err %v", genus, err)
+	}
+}
+
+func TestPlanarizeOuterplanarAndSeriesParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	op := Outerplanar(40, 30, graph.UnitWeights(), rng).G
+	if _, err := Planarize(op); err != nil {
+		t.Fatal(err)
+	}
+	sp := graph.SeriesParallel(60, graph.UnitWeights(), rng)
+	r, err := Planarize(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanarizeRejectsNonPlanar(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"K5", graph.Complete(5, graph.UnitWeights(), rng)},
+		{"K33", graph.CompleteBipartite(3, 3, graph.UnitWeights(), rng)},
+		{"K6", graph.Complete(6, graph.UnitWeights(), rng)},
+		{"torus", graph.GridTorus(4, 4, graph.UnitWeights(), rng)},
+		{"hypercube4", graph.Hypercube(4, graph.UnitWeights(), rng)},
+		{"mesh3d", graph.Mesh3D(3, 3, 3, graph.UnitWeights(), rng)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Planarize(tc.g); err == nil {
+				t.Fatalf("%s embedded as planar", tc.name)
+			} else if !errors.Is(err, ErrNonPlanar) {
+				t.Fatalf("%s: error %v does not wrap ErrNonPlanar", tc.name, err)
+			}
+		})
+	}
+}
+
+func TestPlanarizeK5MinusEdgeIsPlanar(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	full := graph.Complete(5, graph.UnitWeights(), rng)
+	b := graph.NewBuilder(5)
+	full.Edges(func(u, v int, w float64) {
+		if !(u == 0 && v == 1) {
+			b.AddEdge(u, v, w)
+		}
+	})
+	g := b.Build()
+	r, err := Planarize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if genus, err := r.Genus(); err != nil || genus != 0 {
+		t.Fatalf("genus %d err %v", genus, err)
+	}
+}
+
+func TestPlanarizeRandomPlanarSubgraphs(t *testing.T) {
+	// Random subgraphs of planar graphs stay planar; the embedder must
+	// handle the resulting cut vertices and small blocks.
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		full := Apollonian(50, graph.UnitWeights(), rng).G
+		b := graph.NewBuilder(full.N())
+		full.Edges(func(u, v int, w float64) {
+			if rng.Float64() < 0.7 {
+				b.AddEdge(u, v, w)
+			}
+		})
+		g := b.Build()
+		r, err := Planarize(g)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestFromFacesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	r := Grid(4, 6, graph.UnitWeights(), rng)
+	faces, err := r.Faces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := FromFaces(r.G, faces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same face structure (counts by size).
+	s1, _ := r.FaceSizes()
+	s2, _ := r2.FaceSizes()
+	for k, v := range s1 {
+		if s2[k] != v {
+			t.Fatalf("face sizes differ: %v vs %v", s1, s2)
+		}
+	}
+}
+
+func TestFromFacesRejectsBadInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := graph.Cycle(4, graph.UnitWeights(), rng)
+	// Missing one face (only the inner cycle): directed edges uncovered.
+	if _, err := FromFaces(g, [][]int{{0, 1, 2, 3}}); err == nil {
+		t.Fatal("half-covered face set accepted")
+	}
+	// Non-edge in a face.
+	if _, err := FromFaces(g, [][]int{{0, 1, 2, 3}, {3, 1, 0, 2}}); err == nil {
+		t.Fatal("face with non-edge accepted")
+	}
+	// Duplicated directed edge.
+	if _, err := FromFaces(g, [][]int{{0, 1, 2, 3}, {0, 1, 2, 3}}); err == nil {
+		t.Fatal("duplicate directed edges accepted")
+	}
+}
+
+func TestGenusOfTorusLikeRotationIsPositive(t *testing.T) {
+	// K5 with any rotation: genus must come out positive.
+	rng := rand.New(rand.NewSource(9))
+	g := graph.Complete(5, graph.UnitWeights(), rng)
+	order := make([][]int, 5)
+	for v := 0; v < 5; v++ {
+		order[v] = g.SortedNeighbors(v)
+	}
+	r := &Rotation{G: g, Order: order}
+	faces, err := r.Faces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	genus := 2 - g.N() + g.M() - len(faces)
+	if genus <= 0 {
+		t.Fatalf("K5 rotation reports genus %d", genus)
+	}
+}
+
+func TestIsPlanar(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	if !IsPlanar(Grid(5, 5, graph.UnitWeights(), rng).G) {
+		t.Fatal("grid is planar")
+	}
+	if IsPlanar(graph.Complete(5, graph.UnitWeights(), rng)) {
+		t.Fatal("K5 is not planar")
+	}
+	if !IsPlanar(graph.RandomTree(10, graph.UnitWeights(), rng)) {
+		t.Fatal("trees are planar")
+	}
+}

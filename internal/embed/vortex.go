@@ -1,0 +1,190 @@
+package embed
+
+import "fmt"
+
+// This file implements the combinatorial side of Definition 2 of the
+// paper: vortices and vortex-paths. In the Robertson–Seymour structure
+// theorem a vortex is a bounded-pathwidth graph glued onto a face of the
+// embedded part; a path of the whole graph that dives through vortices is
+// replaced by its VORTEX-PATH — segments through the embedded part plus
+// one (entry bag, exit bag) pair per vortex crossed — whose projection is
+// a plain curve on the surface. Figure 1 of the paper:
+//
+//	P:      s ──Q0── x1 ~~~(inside W1)~~~ y1 ──Q1── x2 ~~(W2)~~ y2 ──Q2── t
+//	V:      Q0 ∪ X1 ∪ Y1 ∪ Q1 ∪ X2 ∪ Y2 ∪ Q2
+//	proj:   Q0 · e1 · Q1 · e2 · Q2      (e_i a virtual edge across W_i's face)
+//
+// The full separator algorithm of Section 3 needs vortex-paths only when
+// the Robertson–Seymour decomposition produces vortices; this library's
+// constructive strategies never do (see DESIGN.md §2), so the type exists
+// to model and test the definition itself.
+
+// Vortex is a bounded-pathwidth graph attached along a perimeter:
+// Perimeter[i] is the i-th perimeter vertex, contained in Bags[i], and
+// the bags form a path decomposition in order.
+type Vortex struct {
+	Perimeter []int
+	Bags      [][]int
+}
+
+// Width returns the vortex width: max bag size minus one.
+func (v *Vortex) Width() int {
+	w := 0
+	for _, b := range v.Bags {
+		if len(b) > w {
+			w = len(b)
+		}
+	}
+	return w - 1
+}
+
+// Validate checks the Definition: one bag per perimeter vertex containing
+// it, and bag occurrences of every vertex contiguous (path-decomposition
+// condition 3).
+func (v *Vortex) Validate() error {
+	if len(v.Perimeter) != len(v.Bags) {
+		return fmt.Errorf("embed: %d perimeter vertices, %d bags", len(v.Perimeter), len(v.Bags))
+	}
+	for i, u := range v.Perimeter {
+		found := false
+		for _, x := range v.Bags[i] {
+			if x == u {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("embed: perimeter vertex %d not in bag %d", u, i)
+		}
+	}
+	// Contiguity: for every vertex, its bag indices form an interval.
+	first := map[int]int{}
+	last := map[int]int{}
+	for i, b := range v.Bags {
+		for _, x := range b {
+			if _, ok := first[x]; !ok {
+				first[x] = i
+			}
+			last[x] = i
+		}
+	}
+	for x, f := range first {
+		for i := f; i <= last[x]; i++ {
+			found := false
+			for _, y := range v.Bags[i] {
+				if y == x {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("embed: vertex %d has non-contiguous bags (%d..%d, missing %d)", x, f, last[x], i)
+			}
+		}
+	}
+	return nil
+}
+
+// VortexPath is the Definition 2 decomposition of a path:
+// Segments[0] ∪ EntryBag[0] ∪ ExitBag[0] ∪ Segments[1] ∪ ... with one
+// (entry, exit) bag pair per crossed vortex, every segment wholly in the
+// embedded part.
+type VortexPath struct {
+	// Segments[i] is Q_i as a vertex sequence (possibly a single vertex).
+	Segments [][]int
+	// Vortices[i] is the index (into the input slice) of the i-th crossed
+	// vortex; EntryBag/ExitBag are its X_{i+1}/Y_{i+1} bags.
+	Vortices []int
+	EntryBag [][]int
+	ExitBag  [][]int
+	// EntryAt/ExitAt are the perimeter vertices x_{i+1} and y_{i+1}.
+	EntryAt []int
+	ExitAt  []int
+}
+
+// DecomposeVortexPath runs the construction below Definition 2: walk
+// along p; the prefix before the first perimeter vertex is Q_0; on
+// reaching a perimeter vertex x of vortex W, jump to the LAST vertex of p
+// on W's perimeter (that is y), record W's entry and exit bags, and
+// continue. The resulting vortex-path crosses pairwise distinct vortices.
+func DecomposeVortexPath(p []int, vortices []*Vortex) (*VortexPath, error) {
+	if len(p) == 0 {
+		return nil, fmt.Errorf("embed: empty path")
+	}
+	// perimeter vertex -> (vortex index, bag index). Perimeters must be
+	// disjoint across vortices (they bound distinct faces).
+	type hit struct{ vortex, bag int }
+	perim := map[int]hit{}
+	for vi, v := range vortices {
+		if err := v.Validate(); err != nil {
+			return nil, fmt.Errorf("embed: vortex %d: %w", vi, err)
+		}
+		for bi, u := range v.Perimeter {
+			if prev, ok := perim[u]; ok && prev.vortex != vi {
+				return nil, fmt.Errorf("embed: vertex %d on two vortex perimeters (%d, %d)", u, prev.vortex, vi)
+			}
+			perim[u] = hit{vortex: vi, bag: bi}
+		}
+	}
+	vp := &VortexPath{}
+	seg := []int{}
+	i := 0
+	for i < len(p) {
+		v := p[i]
+		h, onPerim := perim[v]
+		if !onPerim {
+			seg = append(seg, v)
+			i++
+			continue
+		}
+		// Close the current segment at the entry vertex.
+		seg = append(seg, v)
+		vp.Segments = append(vp.Segments, seg)
+		// Find the last occurrence of this vortex's perimeter on p.
+		lastIdx := i
+		for j := i + 1; j < len(p); j++ {
+			if h2, ok := perim[p[j]]; ok && h2.vortex == h.vortex {
+				lastIdx = j
+			}
+		}
+		exit := p[lastIdx]
+		hExit := perim[exit]
+		vp.Vortices = append(vp.Vortices, h.vortex)
+		vp.EntryBag = append(vp.EntryBag, vortices[h.vortex].Bags[h.bag])
+		vp.ExitBag = append(vp.ExitBag, vortices[hExit.vortex].Bags[hExit.bag])
+		vp.EntryAt = append(vp.EntryAt, v)
+		vp.ExitAt = append(vp.ExitAt, exit)
+		// Next segment starts at the exit vertex.
+		seg = []int{exit}
+		i = lastIdx + 1
+	}
+	vp.Segments = append(vp.Segments, seg)
+	// Property from the paper: crossed vortices are pairwise distinct.
+	seen := map[int]bool{}
+	for _, vi := range vp.Vortices {
+		if seen[vi] {
+			return nil, fmt.Errorf("embed: vortex %d crossed twice (construction violated)", vi)
+		}
+		seen[vi] = true
+	}
+	return vp, nil
+}
+
+// Projection returns the projected path of the vortex-path: the segment
+// vertices concatenated, with each vortex crossing replaced by the
+// virtual edge from its entry to its exit perimeter vertex (both of which
+// already terminate the adjacent segments).
+func (vp *VortexPath) Projection() []int {
+	var out []int
+	for _, seg := range vp.Segments {
+		for _, v := range seg {
+			if len(out) == 0 || out[len(out)-1] != v {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// NumCrossings returns the number of vortices the path dives through.
+func (vp *VortexPath) NumCrossings() int { return len(vp.Vortices) }

@@ -1,0 +1,135 @@
+package embed
+
+import "testing"
+
+func mkVortex(perim []int, bags [][]int) *Vortex {
+	return &Vortex{Perimeter: perim, Bags: bags}
+}
+
+func TestVortexValidate(t *testing.T) {
+	ok := mkVortex([]int{10, 11, 12}, [][]int{{10, 20}, {11, 20, 21}, {12, 21}})
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ok.Width() != 2 {
+		t.Fatalf("width = %d", ok.Width())
+	}
+	// Perimeter vertex missing from its bag.
+	bad1 := mkVortex([]int{10, 11}, [][]int{{10}, {12}})
+	if err := bad1.Validate(); err == nil {
+		t.Fatal("missing perimeter vertex accepted")
+	}
+	// Non-contiguous occurrences.
+	bad2 := mkVortex([]int{10, 11, 12}, [][]int{{10, 20}, {11}, {12, 20}})
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("non-contiguous bags accepted")
+	}
+	// Length mismatch.
+	bad3 := mkVortex([]int{10}, [][]int{{10}, {11}})
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestDecomposeVortexPathFigure1(t *testing.T) {
+	// Recreate the Figure 1 shape: a path that crosses three vortices,
+	// re-entering the first two several times between first entry and
+	// last exit.
+	w1 := mkVortex([]int{1, 2, 3, 4}, [][]int{{1}, {2}, {3}, {4}})
+	w2 := mkVortex([]int{5, 6, 7}, [][]int{{5}, {6}, {7}})
+	w3 := mkVortex([]int{8, 9}, [][]int{{8}, {9}})
+	// Path: 0 -> enters W1 at 1, wanders (2, then W2's 5!, back to W1's 3,
+	// leaves at 4), embedded 20, W2 again at 6..7, embedded 21, W3 8..9, 22.
+	p := []int{0, 1, 2, 5, 3, 4, 20, 6, 7, 21, 8, 9, 22}
+	vp, err := DecomposeVortexPath(p, []*Vortex{w1, w2, w3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vp.NumCrossings() != 3 {
+		t.Fatalf("crossings = %d, want 3", vp.NumCrossings())
+	}
+	// W1: entry at 1, exit at 4 (the LAST W1-perimeter vertex).
+	if vp.EntryAt[0] != 1 || vp.ExitAt[0] != 4 {
+		t.Fatalf("W1 entry/exit = %d/%d", vp.EntryAt[0], vp.ExitAt[0])
+	}
+	// W2: the occurrence at index 3 (vertex 5) was swallowed by the W1
+	// span, so the crossing is entered at 6 and exited at 7.
+	if vp.EntryAt[1] != 6 || vp.ExitAt[1] != 7 {
+		t.Fatalf("W2 entry/exit = %d/%d", vp.EntryAt[1], vp.ExitAt[1])
+	}
+	if vp.EntryAt[2] != 8 || vp.ExitAt[2] != 9 {
+		t.Fatalf("W3 entry/exit = %d/%d", vp.EntryAt[2], vp.ExitAt[2])
+	}
+	// Segments: {0,1}, {4,20,6}, {7,21,8}, {9,22}.
+	wantSegs := [][]int{{0, 1}, {4, 20, 6}, {7, 21, 8}, {9, 22}}
+	if len(vp.Segments) != len(wantSegs) {
+		t.Fatalf("segments: %v", vp.Segments)
+	}
+	for i, seg := range wantSegs {
+		if len(vp.Segments[i]) != len(seg) {
+			t.Fatalf("segment %d = %v, want %v", i, vp.Segments[i], seg)
+		}
+		for j := range seg {
+			if vp.Segments[i][j] != seg[j] {
+				t.Fatalf("segment %d = %v, want %v", i, vp.Segments[i], seg)
+			}
+		}
+	}
+	// Projection: segments concatenated without duplicates.
+	proj := vp.Projection()
+	want := []int{0, 1, 4, 20, 6, 7, 21, 8, 9, 22}
+	if len(proj) != len(want) {
+		t.Fatalf("projection = %v", proj)
+	}
+	for i := range want {
+		if proj[i] != want[i] {
+			t.Fatalf("projection = %v, want %v", proj, want)
+		}
+	}
+}
+
+func TestDecomposeVortexPathNoVortices(t *testing.T) {
+	p := []int{3, 1, 4, 1}
+	vp, err := DecomposeVortexPath(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vp.NumCrossings() != 0 || len(vp.Segments) != 1 {
+		t.Fatalf("%+v", vp)
+	}
+}
+
+func TestDecomposeVortexPathRejects(t *testing.T) {
+	if _, err := DecomposeVortexPath(nil, nil); err == nil {
+		t.Fatal("empty path accepted")
+	}
+	// Overlapping perimeters.
+	w1 := mkVortex([]int{1}, [][]int{{1}})
+	w2 := mkVortex([]int{1}, [][]int{{1}})
+	if _, err := DecomposeVortexPath([]int{0, 1}, []*Vortex{w1, w2}); err == nil {
+		t.Fatal("overlapping perimeters accepted")
+	}
+	// Invalid vortex propagates.
+	bad := mkVortex([]int{1, 2}, [][]int{{1}})
+	if _, err := DecomposeVortexPath([]int{0}, []*Vortex{bad}); err == nil {
+		t.Fatal("invalid vortex accepted")
+	}
+}
+
+func TestVortexPathEndsOnPerimeter(t *testing.T) {
+	// A path that ends inside a crossing: exit = entry (single perimeter
+	// touch at the very end).
+	w := mkVortex([]int{5}, [][]int{{5, 6}})
+	vp, err := DecomposeVortexPath([]int{0, 1, 5}, []*Vortex{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vp.NumCrossings() != 1 || vp.EntryAt[0] != 5 || vp.ExitAt[0] != 5 {
+		t.Fatalf("%+v", vp)
+	}
+	// Trailing segment is just the exit vertex.
+	last := vp.Segments[len(vp.Segments)-1]
+	if len(last) != 1 || last[0] != 5 {
+		t.Fatalf("trailing segment %v", last)
+	}
+}

@@ -1,0 +1,192 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The experiment harness is self-checking: each quick-mode table must
+// reproduce the paper's claimed shape, not merely print.
+
+func cellFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not a number: %v", s, err)
+	}
+	return v
+}
+
+func TestE1ShapeConstantK(t *testing.T) {
+	tbl := E1Separator(Config{Quick: true, Seed: 1})
+	for _, row := range tbl.Rows {
+		if row[3] == "ERR" {
+			t.Fatalf("E1 row errored: %v", row)
+		}
+		k := cellFloat(t, row[3])
+		if k > 6 {
+			t.Errorf("class %s n=%s: maxK=%v too large", row[0], row[1], k)
+		}
+		depth := cellFloat(t, row[5])
+		logn := cellFloat(t, row[6])
+		if depth > logn+2 {
+			t.Errorf("class %s: depth %v exceeds log2(n)+2=%v", row[0], depth, logn+2)
+		}
+	}
+}
+
+func TestE2ShapeBoundsHold(t *testing.T) {
+	tbl := E2Treewidth(Config{Quick: true, Seed: 1})
+	for _, row := range tbl.Rows {
+		if row[len(row)-1] != "true" {
+			t.Errorf("E2 bound violated: %v", row)
+		}
+	}
+}
+
+func TestE3ShapePhasedConstant(t *testing.T) {
+	tbl := E3StrongLB(Config{Quick: true, Seed: 1})
+	for _, row := range tbl.Rows {
+		if row[3] == "ERR" {
+			t.Fatalf("E3 row errored: %v", row)
+		}
+		if k := cellFloat(t, row[3]); k > 5 {
+			t.Errorf("phased k = %v > 5: %v", k, row)
+		}
+		if spv := cellFloat(t, row[4]); spv != 3 {
+			t.Errorf("mesh+universal diameter-2 property broken: %v", row)
+		}
+	}
+}
+
+func TestE4ShapeExactGuarantee(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tbl := E4Oracle(Config{Quick: true, Seed: 1})
+	for _, row := range tbl.Rows {
+		if !strings.HasPrefix(row[2], "pathsep-exact") {
+			continue
+		}
+		eps := cellFloat(t, row[3])
+		maxS := cellFloat(t, row[7])
+		if maxS > 1+eps+1e-6 {
+			t.Errorf("Theorem 2 violated: eps=%v maxStretch=%v", eps, maxS)
+		}
+	}
+}
+
+func TestE5ShapeLabelsGrow(t *testing.T) {
+	tbl := E5Labels(Config{Quick: true, Seed: 1})
+	if len(tbl.Rows) < 4 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	// Smaller eps must not shrink labels (rows alternate eps 0.5, 0.1).
+	if cellFloat(t, tbl.Rows[1][3]) < cellFloat(t, tbl.Rows[0][3]) {
+		t.Errorf("eps=0.1 labels smaller than eps=0.5: %v vs %v", tbl.Rows[1], tbl.Rows[0])
+	}
+}
+
+func TestE6ShapeDelivery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tbl := E6Routing(Config{Quick: true, Seed: 1})
+	for _, row := range tbl.Rows {
+		if cellFloat(t, row[3]) != 100 {
+			t.Errorf("delivery below 100%%: %v", row)
+		}
+		if cellFloat(t, row[4]) > 3+1e-6 {
+			t.Errorf("stretch cap exceeded: %v", row)
+		}
+	}
+}
+
+func TestE7ShapeRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tbl := E7SmallWorld(Config{Quick: true, Seed: 1})
+	if len(tbl.Rows) < 5 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if cellFloat(t, row[3]) <= 0 {
+			t.Errorf("no hops measured: %v", row)
+		}
+	}
+}
+
+func TestE8ShapeWithinBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tbl := E8Note2(Config{Quick: true, Seed: 1})
+	for _, row := range tbl.Rows {
+		hops := cellFloat(t, row[2])
+		bound := cellFloat(t, row[3])
+		if hops > bound {
+			t.Errorf("Note 2 bound exceeded: %v", row)
+		}
+	}
+}
+
+func TestE9ShapeDoublingOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tbl := E9Doubling(Config{Quick: true, Seed: 1})
+	for _, row := range tbl.Rows {
+		if s := cellFloat(t, row[4]); s > 1.2+1e-6 {
+			t.Errorf("doubling oracle stretch %v > 1.2: %v", s, row)
+		}
+	}
+}
+
+func TestE10ShapeGrowth(t *testing.T) {
+	tbl := E10Sparse(Config{Quick: true, Seed: 1})
+	if len(tbl.Rows) < 2 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	first := cellFloat(t, tbl.Rows[0][2])
+	last := cellFloat(t, tbl.Rows[len(tbl.Rows)-1][2])
+	if last <= first {
+		t.Errorf("hard-family k did not grow: %v -> %v", first, last)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tbl := &Table{Title: "t", Columns: []string{"a", "bb"}}
+	tbl.AddRow(1, 2.5)
+	tbl.AddRow("x", "y")
+	tbl.Notes = append(tbl.Notes, "note")
+	s := tbl.String()
+	for _, want := range []string{"== t ==", "a", "bb", "2.5", "note:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestFitExponent(t *testing.T) {
+	// y = 3 x^2 exactly.
+	xs := []float64{1, 2, 4, 8}
+	ys := []float64{3, 12, 48, 192}
+	if b := FitExponent(xs, ys); b < 1.99 || b > 2.01 {
+		t.Fatalf("exponent %v, want 2", b)
+	}
+	// Degenerate inputs.
+	if b := FitExponent([]float64{1}, []float64{1}); !isNaN(b) {
+		t.Fatalf("single point fit %v", b)
+	}
+	if b := FitExponent([]float64{-1, 2}, []float64{1, -2}); !isNaN(b) {
+		t.Fatalf("invalid points fit %v", b)
+	}
+	// Same x twice: zero denominator.
+	if b := FitExponent([]float64{2, 2}, []float64{1, 5}); !isNaN(b) {
+		t.Fatalf("vertical fit %v", b)
+	}
+}
+
+func isNaN(f float64) bool { return f != f }

@@ -1,0 +1,31 @@
+package exp
+
+import "math"
+
+// FitExponent estimates b in y ≈ a·x^b by least squares on (log x, log y):
+// the growth-exponent summary the experiment tables report for the
+// Theorem 5 / Section 5.3 curves. Pairs with non-positive coordinates are
+// skipped; fewer than two valid pairs yield NaN.
+func FitExponent(xs, ys []float64) float64 {
+	var sx, sy, sxx, sxy float64
+	n := 0
+	for i := range xs {
+		if i >= len(ys) || xs[i] <= 0 || ys[i] <= 0 {
+			continue
+		}
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+		n++
+	}
+	if n < 2 {
+		return math.NaN()
+	}
+	den := float64(n)*sxx - sx*sx
+	if den == 0 {
+		return math.NaN()
+	}
+	return (float64(n)*sxy - sx*sy) / den
+}

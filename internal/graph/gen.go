@@ -1,0 +1,395 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+)
+
+// WeightFn assigns a weight to the edge {u,v}. Generators call it once per
+// edge with u < v order not guaranteed.
+type WeightFn func(u, v int, rng *rand.Rand) float64
+
+// UnitWeights assigns weight 1 to every edge.
+func UnitWeights() WeightFn {
+	return func(_, _ int, _ *rand.Rand) float64 { return 1 }
+}
+
+// UniformWeights assigns independent uniform weights in [lo, hi).
+func UniformWeights(lo, hi float64) WeightFn {
+	return func(_, _ int, rng *rand.Rand) float64 {
+		return lo + rng.Float64()*(hi-lo)
+	}
+}
+
+// ExpWeights assigns weights 2^u where u is uniform in [0, logSpread),
+// producing a controlled aspect ratio for small-world experiments.
+func ExpWeights(logSpread float64) WeightFn {
+	return func(_, _ int, rng *rand.Rand) float64 {
+		return math.Exp2(rng.Float64() * logSpread)
+	}
+}
+
+// Path returns the path graph on n vertices: 0-1-2-...-(n-1).
+func Path(n int, w WeightFn, rng *rand.Rand) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1, w(i, i+1, rng))
+	}
+	return b.Build()
+}
+
+// Cycle returns the cycle graph on n vertices.
+func Cycle(n int, w WeightFn, rng *rand.Rand) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1, w(i, i+1, rng))
+	}
+	if n > 2 {
+		b.AddEdge(n-1, 0, w(n-1, 0, rng))
+	}
+	return b.Build()
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int, w WeightFn, rng *rand.Rand) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(i, j, w(i, j, rng))
+		}
+	}
+	return b.Build()
+}
+
+// CompleteBipartite returns K_{r,s}: vertices 0..r-1 on one side,
+// r..r+s-1 on the other (the Theorem 7 lower-bound family).
+func CompleteBipartite(r, s int, w WeightFn, rng *rand.Rand) *Graph {
+	b := NewBuilder(r + s)
+	for i := 0; i < r; i++ {
+		for j := 0; j < s; j++ {
+			b.AddEdge(i, r+j, w(i, r+j, rng))
+		}
+	}
+	return b.Build()
+}
+
+// Star returns the star K_{1,n-1} with center 0.
+func Star(n int, w WeightFn, rng *rand.Rand) *Graph {
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, i, w(0, i, rng))
+	}
+	return b.Build()
+}
+
+// RandomTree returns a uniform random recursive tree on n vertices: vertex i
+// attaches to a uniform earlier vertex.
+func RandomTree(n int, w WeightFn, rng *rand.Rand) *Graph {
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		p := rng.Intn(i)
+		b.AddEdge(p, i, w(p, i, rng))
+	}
+	return b.Build()
+}
+
+// BinaryTree returns the complete binary tree with n vertices (heap
+// numbering: children of i are 2i+1, 2i+2).
+func BinaryTree(n int, w WeightFn, rng *rand.Rand) *Graph {
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		p := (i - 1) / 2
+		b.AddEdge(p, i, w(p, i, rng))
+	}
+	return b.Build()
+}
+
+// KTree returns a random k-tree on n vertices (treewidth exactly k for
+// n > k): start from K_{k+1}, then each new vertex is joined to a random
+// existing k-clique. The returned bags can seed a width-k tree
+// decomposition; see KTreeWithBags.
+func KTree(n, k int, w WeightFn, rng *rand.Rand) *Graph {
+	g, _ := KTreeWithBags(n, k, w, rng)
+	return g
+}
+
+// KTreeWithBags is KTree but also returns, for each vertex i >= k+1, the
+// k-clique it was attached to (its "bag" minus itself). The first k+1
+// vertices form the seed clique.
+func KTreeWithBags(n, k int, w WeightFn, rng *rand.Rand) (*Graph, [][]int) {
+	if n < k+1 {
+		n = k + 1
+	}
+	b := NewBuilder(n)
+	// Seed clique.
+	for i := 0; i <= k; i++ {
+		for j := i + 1; j <= k; j++ {
+			b.AddEdge(i, j, w(i, j, rng))
+		}
+	}
+	// cliques holds k-cliques available for attachment.
+	var cliques [][]int
+	seed := make([]int, 0, k)
+	for i := 0; i < k; i++ {
+		seed = append(seed, i)
+	}
+	cliques = append(cliques, seed)
+	// All k-subsets of the seed (k+1 choose k) = each vertex omitted once.
+	for omit := 0; omit <= k; omit++ {
+		c := make([]int, 0, k)
+		for i := 0; i <= k; i++ {
+			if i != omit {
+				c = append(c, i)
+			}
+		}
+		cliques = append(cliques, c)
+	}
+	bags := make([][]int, n)
+	for v := k + 1; v < n; v++ {
+		c := cliques[rng.Intn(len(cliques))]
+		for _, u := range c {
+			b.AddEdge(u, v, w(u, v, rng))
+		}
+		bags[v] = append([]int(nil), c...)
+		// New k-cliques: v plus each (k-1)-subset of c.
+		for omit := 0; omit < len(c); omit++ {
+			nc := make([]int, 0, k)
+			for i, u := range c {
+				if i != omit {
+					nc = append(nc, u)
+				}
+			}
+			nc = append(nc, v)
+			cliques = append(cliques, nc)
+		}
+	}
+	return b.Build(), bags
+}
+
+// PartialKTree returns a random partial k-tree: a k-tree with each edge
+// independently deleted with probability drop, re-connected by keeping a
+// random spanning tree of the k-tree intact so the result stays connected.
+func PartialKTree(n, k int, drop float64, w WeightFn, rng *rand.Rand) *Graph {
+	full := KTree(n, k, w, rng)
+	// Spanning tree via DFS.
+	keep := make(map[[2]int]bool)
+	visited := make([]bool, full.N())
+	stack := []int{0}
+	visited[0] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, h := range full.Neighbors(v) {
+			if !visited[h.To] {
+				visited[h.To] = true
+				keep[[2]int{min(v, h.To), max(v, h.To)}] = true
+				stack = append(stack, h.To)
+			}
+		}
+	}
+	b := NewBuilder(full.N())
+	full.Edges(func(u, v int, wt float64) {
+		if keep[[2]int{u, v}] || rng.Float64() >= drop {
+			b.AddEdge(u, v, wt)
+		}
+	})
+	return b.Build()
+}
+
+// GNM returns a uniform random simple graph with n vertices and (up to) m
+// distinct edges.
+func GNM(n, m int, w WeightFn, rng *rand.Rand) *Graph {
+	b := NewBuilder(n)
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		m = maxM
+	}
+	for b.NumEdges() < m {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u != v {
+			b.AddEdge(u, v, w(u, v, rng))
+		}
+	}
+	return b.Build()
+}
+
+// ConnectedGNM returns GNM plus a random spanning tree so the result is
+// connected; m counts total edges including the tree and is clamped to
+// the complete-graph maximum.
+func ConnectedGNM(n, m int, w WeightFn, rng *rand.Rand) *Graph {
+	b := NewBuilder(n)
+	if maxM := n * (n - 1) / 2; m > maxM {
+		m = maxM
+	}
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		p := perm[rng.Intn(i)]
+		b.AddEdge(p, perm[i], w(p, perm[i], rng))
+	}
+	for b.NumEdges() < m {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u != v {
+			b.AddEdge(u, v, w(u, v, rng))
+		}
+	}
+	return b.Build()
+}
+
+// Hypercube returns the d-dimensional hypercube on 2^d vertices.
+func Hypercube(d int, w WeightFn, rng *rand.Rand) *Graph {
+	n := 1 << d
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for bit := 0; bit < d; bit++ {
+			u := v ^ (1 << bit)
+			if u > v {
+				b.AddEdge(v, u, w(v, u, rng))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Mesh3D returns the a x b x c three-dimensional mesh (the Section 5.3
+// example of a graph with no bounded k-path separator). Vertex (x,y,z) has
+// ID x + a*(y + b*z).
+func Mesh3D(a, b, c int, w WeightFn, rng *rand.Rand) *Graph {
+	id := func(x, y, z int) int { return x + a*(y+b*z) }
+	bd := NewBuilder(a * b * c)
+	for z := 0; z < c; z++ {
+		for y := 0; y < b; y++ {
+			for x := 0; x < a; x++ {
+				v := id(x, y, z)
+				if x+1 < a {
+					bd.AddEdge(v, id(x+1, y, z), w(v, id(x+1, y, z), rng))
+				}
+				if y+1 < b {
+					bd.AddEdge(v, id(x, y+1, z), w(v, id(x, y+1, z), rng))
+				}
+				if z+1 < c {
+					bd.AddEdge(v, id(x, y, z+1), w(v, id(x, y, z+1), rng))
+				}
+			}
+		}
+	}
+	return bd.Build()
+}
+
+// MeshUniversal returns the t x t unweighted mesh augmented with a universal
+// vertex (ID t*t): the K6-minor-free family of Theorem 6(3) on which every
+// STRONG k-path separator needs k >= t/3.
+func MeshUniversal(t int) *Graph {
+	b := NewBuilder(t*t + 1)
+	u := t * t
+	id := func(x, y int) int { return x + t*y }
+	for y := 0; y < t; y++ {
+		for x := 0; x < t; x++ {
+			v := id(x, y)
+			if x+1 < t {
+				b.AddEdge(v, id(x+1, y), 1)
+			}
+			if y+1 < t {
+				b.AddEdge(v, id(x, y+1), 1)
+			}
+			b.AddEdge(v, u, 1)
+		}
+	}
+	return b.Build()
+}
+
+// PathPlusStable returns the Section 5.2 example: a path of n/2 vertices
+// (weight-1 edges) plus a stable set of n/2 vertices fully joined to the
+// path with weight n/2 edges. It contains a K_{n/2,n/2} minor yet is 1-path
+// separable, witnessing that path separability does not reduce to excluding
+// a small minor.
+func PathPlusStable(n int) *Graph {
+	h := n / 2
+	b := NewBuilder(2 * h)
+	for i := 0; i+1 < h; i++ {
+		b.AddEdge(i, i+1, 1)
+	}
+	for i := 0; i < h; i++ {
+		for j := 0; j < h; j++ {
+			b.AddEdge(i, h+j, float64(h))
+		}
+	}
+	return b.Build()
+}
+
+// SeriesParallel returns a random series-parallel graph (K4-minor-free,
+// treewidth <= 2; one of the network classes the paper's introduction
+// names) with approximately n vertices, built by random series/parallel
+// compositions of the single edge.
+func SeriesParallel(n int, w WeightFn, rng *rand.Rand) *Graph {
+	if n < 2 {
+		n = 2
+	}
+	b := NewBuilder(n)
+	next := 2
+	newVertex := func() int {
+		v := next
+		next++
+		return v
+	}
+	// build wires a series-parallel network between s and t creating
+	// `budget` fresh internal vertices.
+	var build func(s, t, budget int)
+	build = func(s, t, budget int) {
+		if budget <= 0 {
+			b.AddEdge(s, t, w(s, t, rng))
+			return
+		}
+		if rng.Intn(2) == 0 {
+			// Series: split through a new middle vertex.
+			mid := newVertex()
+			left := (budget - 1) / 2
+			build(s, mid, left)
+			build(mid, t, budget-1-left)
+		} else {
+			// Parallel: two networks sharing the terminals. Keep at least
+			// one side trivial occasionally so edge multiplicity stays
+			// bounded (the Builder deduplicates parallel unit edges).
+			left := rng.Intn(budget + 1)
+			build(s, t, left)
+			build(s, t, budget-left)
+		}
+	}
+	build(0, 1, n-2)
+	return b.Build()
+}
+
+// Caterpillar returns a caterpillar tree: a spine path of `spine`
+// vertices, each with `legs` pendant leaves — a worst case for
+// path-length-sensitive structures.
+func Caterpillar(spine, legs int, w WeightFn, rng *rand.Rand) *Graph {
+	b := NewBuilder(spine * (1 + legs))
+	for i := 0; i+1 < spine; i++ {
+		b.AddEdge(i, i+1, w(i, i+1, rng))
+	}
+	next := spine
+	for i := 0; i < spine; i++ {
+		for l := 0; l < legs; l++ {
+			b.AddEdge(i, next, w(i, next, rng))
+			next++
+		}
+	}
+	return b.Build()
+}
+
+// GridTorus returns the rows x cols torus (grid with wraparound): NOT
+// planar for rows,cols >= 3; used for failure-injection tests of the
+// planar machinery.
+func GridTorus(rows, cols int, w WeightFn, rng *rand.Rand) *Graph {
+	id := func(x, y int) int { return x + cols*y }
+	b := NewBuilder(rows * cols)
+	for y := 0; y < rows; y++ {
+		for x := 0; x < cols; x++ {
+			v := id(x, y)
+			b.AddEdge(v, id((x+1)%cols, y), w(v, id((x+1)%cols, y), rng))
+			b.AddEdge(v, id(x, (y+1)%rows), w(v, id(x, (y+1)%rows), rng))
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteText serializes the graph as a text edge list:
+//
+//	p <n> <m>
+//	e <u> <v> <weight>
+//
+// one line per undirected edge. (Named WriteText to avoid the io.WriterTo
+// signature convention.)
+func (g *Graph) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p %d %d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	var werr error
+	g.Edges(func(u, v int, wt float64) {
+		if werr != nil {
+			return
+		}
+		_, werr = fmt.Fprintf(bw, "e %d %d %g\n", u, v, wt)
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// Read parses a graph written by WriteText. Blank lines and lines starting
+// with '#' or 'c' are ignored.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var b *Builder
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == 'c' {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "p":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: bad header %q", line, text)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %w", line, err)
+			}
+			b = NewBuilder(n)
+		case "e":
+			if b == nil {
+				return nil, fmt.Errorf("graph: line %d: edge before header", line)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("graph: line %d: bad edge %q", line, text)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			wt, err3 := strconv.ParseFloat(fields[3], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge %q", line, text)
+			}
+			b.AddEdge(u, v, wt)
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("graph: missing header")
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,86 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := ConnectedGNM(40, 100, UniformWeights(0.5, 9), rng)
+	var buf bytes.Buffer
+	if err := g.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("shape changed: %v -> %v", g, g2)
+	}
+	g.Edges(func(u, v int, w float64) {
+		w2, ok := g2.EdgeWeight(u, v)
+		if !ok {
+			t.Fatalf("edge {%d,%d} lost", u, v)
+		}
+		if w2 != w {
+			// %g prints full precision for floats we generate; exact match
+			// can fail only for pathological values.
+			if diff := w - w2; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("weight changed: %v -> %v", w, w2)
+			}
+		}
+	})
+}
+
+func TestReadIgnoresComments(t *testing.T) {
+	in := "# comment\nc another\n\np 3 2\ne 0 1 1.5\ne 1 2 2.5\n"
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("got %v", g)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"",                    // no header
+		"e 0 1 2\n",           // edge before header
+		"p x 2\n",             // bad n
+		"p 3 1\ne 0 1\n",      // short edge
+		"p 3 1\ne a b c\n",    // non-numeric
+		"p 3 1\nq what\n",     // unknown record
+		"p 2 1\ne 0 1 oops\n", // bad weight
+	}
+	for i, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: error expected for %q", i, in)
+		}
+	}
+}
+
+func TestQuickIORoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%30 + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := GNM(n, n*2, UniformWeights(1, 5), rng)
+		var buf bytes.Buffer
+		if err := g.WriteText(&buf); err != nil {
+			return false
+		}
+		g2, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return g2.N() == g.N() && g2.M() == g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,123 @@
+package graph
+
+// Sub is an induced subgraph together with the mapping back to the vertex
+// IDs of the graph it was taken from.
+type Sub struct {
+	G *Graph
+	// Orig maps a Sub vertex ID to the vertex ID in the parent graph.
+	Orig []int
+}
+
+// ToParent translates a Sub vertex ID to the parent graph's ID.
+func (s *Sub) ToParent(v int) int { return s.Orig[v] }
+
+// Induced returns the subgraph of g induced by the given vertices, with the
+// origin map. Duplicate and out-of-range vertices are ignored. Vertex order
+// in the Sub follows the input order of the first occurrence.
+func Induced(g *Graph, vertices []int) *Sub {
+	toSub := make(map[int]int, len(vertices))
+	orig := make([]int, 0, len(vertices))
+	for _, v := range vertices {
+		if v < 0 || v >= g.N() {
+			continue
+		}
+		if _, ok := toSub[v]; ok {
+			continue
+		}
+		toSub[v] = len(orig)
+		orig = append(orig, v)
+	}
+	b := NewBuilder(len(orig))
+	for sv, ov := range orig {
+		for _, h := range g.Neighbors(ov) {
+			if sw, ok := toSub[h.To]; ok && sw > sv {
+				b.AddEdge(sv, sw, h.W)
+			}
+		}
+	}
+	return &Sub{G: b.Build(), Orig: orig}
+}
+
+// RemoveVertices returns the subgraph of g induced by all vertices NOT in
+// the removed set.
+func RemoveVertices(g *Graph, removed []int) *Sub {
+	drop := make([]bool, g.N())
+	for _, v := range removed {
+		if v >= 0 && v < g.N() {
+			drop[v] = true
+		}
+	}
+	keep := make([]int, 0, g.N())
+	for v := 0; v < g.N(); v++ {
+		if !drop[v] {
+			keep = append(keep, v)
+		}
+	}
+	return Induced(g, keep)
+}
+
+// ConnectedComponents returns the vertex sets of the connected components of
+// g, largest first.
+func ConnectedComponents(g *Graph) [][]int {
+	comp := make([]int, g.N())
+	for i := range comp {
+		comp[i] = -1
+	}
+	var comps [][]int
+	stack := make([]int, 0, 64)
+	for s := 0; s < g.N(); s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		id := len(comps)
+		comp[s] = id
+		stack = append(stack[:0], s)
+		var members []int
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			members = append(members, v)
+			for _, h := range g.Neighbors(v) {
+				if comp[h.To] < 0 {
+					comp[h.To] = id
+					stack = append(stack, h.To)
+				}
+			}
+		}
+		comps = append(comps, members)
+	}
+	// Largest first (stable on ties by first vertex).
+	for i := 1; i < len(comps); i++ {
+		j := i
+		for j > 0 && len(comps[j-1]) < len(comps[j]) {
+			comps[j-1], comps[j] = comps[j], comps[j-1]
+			j--
+		}
+	}
+	return comps
+}
+
+// IsConnected reports whether g is connected. The empty graph counts as
+// connected.
+func IsConnected(g *Graph) bool {
+	if g.N() == 0 {
+		return true
+	}
+	return len(ConnectedComponents(g)) == 1
+}
+
+// ComponentsAfterRemoval returns the connected components of g minus the
+// removed vertex set, as vertex lists in g's numbering, largest first.
+func ComponentsAfterRemoval(g *Graph, removed []int) [][]int {
+	sub := RemoveVertices(g, removed)
+	comps := ConnectedComponents(sub.G)
+	out := make([][]int, len(comps))
+	for i, c := range comps {
+		lifted := make([]int, len(c))
+		for j, v := range c {
+			lifted[j] = sub.Orig[v]
+		}
+		out[i] = lifted
+	}
+	return out
+}

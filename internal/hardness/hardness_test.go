@@ -1,0 +1,213 @@
+package hardness
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathsep/internal/core"
+	"pathsep/internal/embed"
+	"pathsep/internal/graph"
+)
+
+func TestVerifyStrong(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.Cycle(8, graph.UnitWeights(), rng)
+	if !VerifyStrong(g, [][]int{{0, 1}, {4, 5}}) {
+		t.Fatal("valid strong separator rejected")
+	}
+	if VerifyStrong(g, [][]int{{0}}) {
+		t.Fatal("unbalanced separator accepted")
+	}
+	if VerifyStrong(g, [][]int{{0, 1, 2, 3, 4, 5}}) {
+		t.Fatal("non-shortest path accepted")
+	}
+}
+
+func TestMaxShortestPathVertices(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := graph.Path(7, graph.UnitWeights(), rng)
+	if got := MaxShortestPathVertices(p); got != 7 {
+		t.Fatalf("path: %d", got)
+	}
+	// Diameter-2 graphs: at most 3 vertices per shortest path.
+	mu := graph.MeshUniversal(4)
+	if got := MaxShortestPathVertices(mu); got != 3 {
+		t.Fatalf("mesh+universal: %d, want 3", got)
+	}
+	kb := graph.CompleteBipartite(3, 5, graph.UnitWeights(), rng)
+	if got := MaxShortestPathVertices(kb); got != 3 {
+		t.Fatalf("K_{3,5}: %d, want 3", got)
+	}
+}
+
+func TestMinHalvingSetCycle(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.Cycle(8, graph.UnitWeights(), rng)
+	set, ok := MinHalvingSet(g, 3)
+	if !ok || len(set) != 2 {
+		t.Fatalf("C8 halving set: %v %v (want size 2)", set, ok)
+	}
+}
+
+func TestMinHalvingSetClique(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.Complete(6, graph.UnitWeights(), rng)
+	// K6: must remove 3 vertices to get components <= 3.
+	set, ok := MinHalvingSet(g, 4)
+	if !ok || len(set) != 3 {
+		t.Fatalf("K6 halving: %v %v", set, ok)
+	}
+}
+
+func TestStrongLowerBoundBipartite(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// K_{4,9}: halving needs >= 4 removals (otherwise the graph stays
+	// connected with > n/2 vertices), each path covers <= 3 vertices.
+	g := graph.CompleteBipartite(4, 9, graph.UnitWeights(), rng)
+	lb := StrongLowerBound(g, 5)
+	if lb < 2 {
+		t.Fatalf("K_{4,9} strong LB = %d, want >= 2 = r/2", lb)
+	}
+	if want := BipartiteStrongLB(4); want != 2 {
+		t.Fatalf("analytic bound = %d", want)
+	}
+}
+
+func TestMeshUniversalLB(t *testing.T) {
+	// t=4: n=17. The universal vertex must be removed (else its component
+	// is everything), and then the 4x4 mesh must be halved.
+	g := graph.MeshUniversal(4)
+	set, ok := MinHalvingSet(g, 5)
+	if !ok {
+		t.Fatal("no halving set of size <= 5 found for t=4")
+	}
+	// Universal vertex (16) must be in the set.
+	hasU := false
+	for _, v := range set {
+		if v == 16 {
+			hasU = true
+		}
+	}
+	if !hasU {
+		t.Fatalf("halving set %v omits the universal vertex", set)
+	}
+	if MeshUniversalStrongLB(4) != 2 {
+		t.Fatalf("analytic: %d", MeshUniversalStrongLB(4))
+	}
+	if MeshUniversalStrongLB(9) != 3 {
+		t.Fatalf("analytic t=9: %d", MeshUniversalStrongLB(9))
+	}
+}
+
+func TestSparseHardShape(t *testing.T) {
+	for _, n := range []int{50, 200, 800} {
+		g := SparseHard(n)
+		if g.N() != n {
+			t.Fatalf("n = %d, want %d", g.N(), n)
+		}
+		// Sparse: m = O(n) (core r^2 ~ n/2 plus pendant edges).
+		if g.M() > 3*n {
+			t.Fatalf("n=%d: m=%d not sparse", n, g.M())
+		}
+		if !graph.IsConnected(g) {
+			t.Fatalf("n=%d: disconnected", n)
+		}
+	}
+}
+
+func TestMeasureGreedyKGrowsOnHardFamily(t *testing.T) {
+	kSmall, err := MeasureGreedyK(SparseHard(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kBig, err := MeasureGreedyK(SparseHard(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dense core forces the path count to grow with sqrt(n): 16x the
+	// vertices should need clearly more paths.
+	if kBig <= kSmall {
+		t.Errorf("greedy k did not grow: %d (n=64) vs %d (n=1024)", kSmall, kBig)
+	}
+}
+
+func TestPlanarKConstantVsHardGrowth(t *testing.T) {
+	// Contrast for E3/E10: the planar strategy proves k <= 4 on grids of
+	// any size, while on the dense-core family the measured greedy k
+	// grows with n (no strategy can keep it constant, by Theorem 5).
+	rng := rand.New(rand.NewSource(6))
+	for _, side := range []int{8, 16} {
+		r := embed.Grid(side, side, graph.UnitWeights(), rng)
+		sep, err := (core.Planar{}).Separate(core.Input{G: r.G, Rot: r})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sep.NumPaths() > 4 {
+			t.Errorf("grid %d: planar k = %d > 4", side, sep.NumPaths())
+		}
+	}
+	kSmall, err := MeasureGreedyK(SparseHard(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kBig, err := MeasureGreedyK(SparseHard(2048))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kBig <= kSmall {
+		t.Errorf("hard family k did not grow: %d -> %d", kSmall, kBig)
+	}
+}
+
+func TestDistinctDistanceRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := graph.Path(10, graph.UnitWeights(), rng)
+	if got := DistinctDistanceRows(p); got != 10 {
+		t.Fatalf("path rows = %d", got)
+	}
+	// Complete graph: every row is a permutation pattern but all distinct
+	// (the 0 moves); still n rows.
+	k := graph.Complete(5, graph.UnitWeights(), rng)
+	if got := DistinctDistanceRows(k); got != 5 {
+		t.Fatalf("K5 rows = %d", got)
+	}
+}
+
+func TestStrongSqrtUpperOnGrids(t *testing.T) {
+	// Theorem 6(2): grids get strong separators of O(sqrt n) single-vertex
+	// paths via the center bag.
+	for _, side := range []int{6, 10, 14} {
+		g := graph.Mesh3D(side, side, 1, graph.UnitWeights(), nil)
+		k, err := StrongSqrtUpper(g)
+		if err != nil {
+			t.Fatalf("side %d: %v", side, err)
+		}
+		if k > 3*side {
+			t.Errorf("side %d: strong k = %d, want O(side)", side, k)
+		}
+		if k < 2 {
+			t.Errorf("side %d: suspiciously small strong separator %d", side, k)
+		}
+	}
+}
+
+func TestPathPlusStableIsOnePathSeparable(t *testing.T) {
+	// Section 5.2, first paragraph: the path-plus-stable graph contains a
+	// K_{n/2,n/2} minor yet is 1-path separable — the whole weight-1 path
+	// is a single shortest path whose removal isolates the stable set.
+	g := graph.PathPlusStable(20)
+	h := 10
+	pathVerts := make([]int, h)
+	for i := range pathVerts {
+		pathVerts[i] = i
+	}
+	sep := &core.Separator{Phases: []core.Phase{
+		{Paths: []core.Path{{Vertices: pathVerts}}},
+	}}
+	if err := core.Certify(g, sep); err != nil {
+		t.Fatalf("Section 5.2 example not certified: %v", err)
+	}
+	if sep.NumPaths() != 1 {
+		t.Fatalf("k = %d, want 1", sep.NumPaths())
+	}
+}

@@ -1,0 +1,139 @@
+package labeling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pathsep/internal/graph"
+	"pathsep/internal/shortest"
+)
+
+func TestExactOnPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.Path(17, graph.UniformWeights(1, 3), rng)
+	l, err := BuildTree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := shortest.Dijkstra(g, 0)
+	for v := 0; v < g.N(); v++ {
+		if math.Abs(l.Query(0, v)-tr.Dist[v]) > 1e-9 {
+			t.Fatalf("Query(0,%d) = %v, want %v", v, l.Query(0, v), tr.Dist[v])
+		}
+	}
+}
+
+func TestExactAllPairsRandomTrees(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomTree(60, graph.UniformWeights(0.5, 5), rng)
+		l, err := BuildTree(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < g.N(); u += 4 {
+			tr := shortest.Dijkstra(g, u)
+			for v := 0; v < g.N(); v++ {
+				if math.Abs(l.Query(u, v)-tr.Dist[v]) > 1e-9 {
+					t.Fatalf("seed %d: Query(%d,%d) = %v, want %v", seed, u, v, l.Query(u, v), tr.Dist[v])
+				}
+			}
+		}
+	}
+}
+
+func TestLabelSizeLogarithmic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{64, 512, 4096} {
+		g := graph.RandomTree(n, graph.UnitWeights(), rng)
+		l, err := BuildTree(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := int(math.Log2(float64(n))) + 2
+		if got := l.MaxLabelSize(); got > bound {
+			t.Errorf("n=%d: max label %d > log bound %d", n, got, bound)
+		}
+		if l.Depth() >= l.MaxLabelSize() {
+			// depth is max entries - 1.
+			t.Errorf("n=%d: depth %d vs max label %d", n, l.Depth(), l.MaxLabelSize())
+		}
+	}
+}
+
+func TestCaterpillarAndStar(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, g := range []*graph.Graph{
+		graph.Star(50, graph.UniformWeights(1, 2), rng),
+		graph.Caterpillar(10, 4, graph.UniformWeights(1, 2), rng),
+		graph.BinaryTree(63, graph.UnitWeights(), rng),
+	} {
+		l, err := BuildTree(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := shortest.Dijkstra(g, 0)
+		for v := 0; v < g.N(); v++ {
+			if math.Abs(l.Query(0, v)-tr.Dist[v]) > 1e-9 {
+				t.Fatalf("Query(0,%d) mismatch", v)
+			}
+		}
+	}
+}
+
+func TestRejectsNonTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if _, err := BuildTree(graph.Cycle(5, graph.UnitWeights(), rng)); err == nil {
+		t.Fatal("cycle accepted")
+	}
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(2, 3, 1) // forest, not tree
+	// m = n-2: not a tree by edge count.
+	if _, err := BuildTree(b.Build()); err == nil {
+		t.Fatal("forest accepted")
+	}
+	if _, err := BuildTree(graph.New(0)); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestDistributedQueryMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.RandomTree(40, graph.UniformWeights(1, 4), rng)
+	l, _ := BuildTree(g)
+	for u := 0; u < 40; u += 3 {
+		for v := 0; v < 40; v += 7 {
+			got := QueryTreeLabels(&l.Labels[u], &l.Labels[v])
+			want := l.Query(u, v)
+			if got != want {
+				t.Fatalf("(%d,%d): %v != %v", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestQuickExactness(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%50 + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomTree(n, graph.UniformWeights(0.5, 3), rng)
+		l, err := BuildTree(g)
+		if err != nil {
+			return false
+		}
+		u := rng.Intn(n)
+		tr := shortest.Dijkstra(g, u)
+		for v := 0; v < n; v++ {
+			if math.Abs(l.Query(u, v)-tr.Dist[v]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,152 @@
+package oracle
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Encode serializes the label compactly: varint-delta keys and raw float64
+// portal fields. The byte length measures the label size in bits for the
+// Theorem 2 space accounting (experiment E5).
+func (l *Label) Encode() []byte {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(len(l.Entries)))
+	prevNode := int64(0)
+	for _, e := range l.Entries {
+		buf = binary.AppendVarint(buf, int64(e.Key.Node)-prevNode)
+		prevNode = int64(e.Key.Node)
+		buf = binary.AppendUvarint(buf, uint64(e.Key.Phase))
+		buf = binary.AppendUvarint(buf, uint64(e.Key.Path))
+		buf = binary.AppendUvarint(buf, uint64(len(e.Portals)))
+		for _, p := range e.Portals {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.Pos))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.Dist))
+		}
+	}
+	return buf
+}
+
+// DecodeLabel parses a label produced by Encode.
+func DecodeLabel(buf []byte) (*Label, error) {
+	l := &Label{}
+	ne, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, fmt.Errorf("oracle: truncated label header")
+	}
+	buf = buf[n:]
+	if ne > uint64(len(buf)) {
+		return nil, fmt.Errorf("oracle: header claims %d entries in %d bytes", ne, len(buf))
+	}
+	prevNode := int64(0)
+	for i := uint64(0); i < ne; i++ {
+		dn, n := binary.Varint(buf)
+		if n <= 0 {
+			return nil, fmt.Errorf("oracle: truncated entry %d node", i)
+		}
+		buf = buf[n:]
+		node := prevNode + dn
+		prevNode = node
+		phase, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return nil, fmt.Errorf("oracle: truncated entry %d phase", i)
+		}
+		buf = buf[n:]
+		path, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return nil, fmt.Errorf("oracle: truncated entry %d path", i)
+		}
+		buf = buf[n:]
+		np, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return nil, fmt.Errorf("oracle: truncated entry %d portal count", i)
+		}
+		buf = buf[n:]
+		e := Entry{Key: Key{Node: int32(node), Phase: int16(phase), Path: int16(path)}}
+		for j := uint64(0); j < np; j++ {
+			if len(buf) < 16 {
+				return nil, fmt.Errorf("oracle: truncated portal %d/%d", i, j)
+			}
+			pos := math.Float64frombits(binary.LittleEndian.Uint64(buf))
+			dist := math.Float64frombits(binary.LittleEndian.Uint64(buf[8:]))
+			buf = buf[16:]
+			e.Portals = append(e.Portals, Portal{Pos: pos, Dist: dist})
+		}
+		l.Entries = append(l.Entries, e)
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("oracle: %d trailing bytes", len(buf))
+	}
+	return l, nil
+}
+
+// Bits returns the serialized size of the label in bits.
+func (l *Label) Bits() int { return 8 * len(l.Encode()) }
+
+// Encode serializes the whole oracle: header (vertex count, epsilon) plus
+// length-prefixed per-vertex labels. The format is versioned by a magic
+// byte so stored oracles fail loudly on format drift.
+func (o *Oracle) Encode() []byte {
+	var buf []byte
+	buf = append(buf, oracleMagic)
+	buf = binary.AppendUvarint(buf, uint64(o.N))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(o.Eps))
+	buf = binary.AppendUvarint(buf, uint64(o.mode))
+	for v := range o.Labels {
+		lb := o.Labels[v].Encode()
+		buf = binary.AppendUvarint(buf, uint64(len(lb)))
+		buf = append(buf, lb...)
+	}
+	return buf
+}
+
+const oracleMagic = 0x9C
+
+// Decode parses an oracle produced by Encode.
+func Decode(buf []byte) (*Oracle, error) {
+	if len(buf) == 0 || buf[0] != oracleMagic {
+		return nil, fmt.Errorf("oracle: bad magic")
+	}
+	buf = buf[1:]
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, fmt.Errorf("oracle: truncated header")
+	}
+	buf = buf[sz:]
+	if len(buf) < 8 {
+		return nil, fmt.Errorf("oracle: truncated epsilon")
+	}
+	eps := math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	buf = buf[8:]
+	mode, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, fmt.Errorf("oracle: truncated mode")
+	}
+	buf = buf[sz:]
+	// Every label costs at least one length byte; reject absurd headers
+	// before allocating.
+	if n > uint64(len(buf)) {
+		return nil, fmt.Errorf("oracle: header claims %d labels in %d bytes", n, len(buf))
+	}
+	o := &Oracle{N: int(n), Eps: eps, mode: Mode(mode), Labels: make([]Label, n)}
+	for v := uint64(0); v < n; v++ {
+		l, sz := binary.Uvarint(buf)
+		if sz <= 0 {
+			return nil, fmt.Errorf("oracle: truncated label %d header", v)
+		}
+		buf = buf[sz:]
+		if uint64(len(buf)) < l {
+			return nil, fmt.Errorf("oracle: truncated label %d body", v)
+		}
+		lbl, err := DecodeLabel(buf[:l])
+		if err != nil {
+			return nil, fmt.Errorf("oracle: label %d: %w", v, err)
+		}
+		o.Labels[v] = *lbl
+		buf = buf[l:]
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("oracle: %d trailing bytes", len(buf))
+	}
+	return o, nil
+}

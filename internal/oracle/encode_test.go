@@ -1,0 +1,106 @@
+package oracle
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pathsep/internal/core"
+	"pathsep/internal/embed"
+	"pathsep/internal/graph"
+)
+
+func buildSmall(t *testing.T) *Oracle {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	r := embed.Grid(6, 6, graph.UniformWeights(1, 3), rng)
+	tree, err := core.Decompose(r.G, core.Options{Strategy: core.Auto{}, Rot: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := Build(tree, Options{Epsilon: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestLabelRoundTrip(t *testing.T) {
+	o := buildSmall(t)
+	for v := range o.Labels {
+		buf := o.Labels[v].Encode()
+		got, err := DecodeLabel(buf)
+		if err != nil {
+			t.Fatalf("label %d: %v", v, err)
+		}
+		if len(got.Entries) != len(o.Labels[v].Entries) {
+			t.Fatalf("label %d: entries %d != %d", v, len(got.Entries), len(o.Labels[v].Entries))
+		}
+		for i, e := range got.Entries {
+			want := o.Labels[v].Entries[i]
+			if e.Key != want.Key || len(e.Portals) != len(want.Portals) {
+				t.Fatalf("label %d entry %d mismatch", v, i)
+			}
+			for j, p := range e.Portals {
+				if p != want.Portals[j] {
+					t.Fatalf("label %d entry %d portal %d mismatch", v, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestOracleRoundTripQueriesAgree(t *testing.T) {
+	o := buildSmall(t)
+	o2, err := Decode(o.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o2.N != o.N || o2.Eps != o.Eps {
+		t.Fatal("header mismatch")
+	}
+	for u := 0; u < o.N; u += 3 {
+		for v := 0; v < o.N; v += 5 {
+			a, b := o.Query(u, v), o2.Query(u, v)
+			if a != b && !(math.IsInf(a, 1) && math.IsInf(b, 1)) {
+				t.Fatalf("query (%d,%d): %v != %v", u, v, a, b)
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	o := buildSmall(t)
+	buf := o.Encode()
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, err := Decode(buf[:len(buf)/2]); err == nil {
+		t.Fatal("truncated accepted")
+	}
+	bad := append([]byte{0x00}, buf[1:]...)
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	withTrailer := append(append([]byte{}, buf...), 0xFF)
+	if _, err := Decode(withTrailer); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestDecodeLabelFuzz(t *testing.T) {
+	// Random byte soup must never panic, only error or succeed.
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %x: %v", data, r)
+			}
+		}()
+		_, _ = DecodeLabel(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,479 @@
+// Package oracle implements Theorem 2 of the paper: (1+ε)-approximate
+// distance labels and the distance oracle they form, built on the k-path
+// separator decomposition tree.
+//
+// For every node H of the decomposition tree, every phase i of its
+// separator, and every path Q of phase i, a vertex w that survives phases
+// j<i of H stores a small set of "portals" on Q: pairs (position along Q,
+// exact distance from w in the residual graph J = H minus earlier phases).
+// Since Q is a shortest path in J, the distance along Q between two of its
+// vertices is the difference of their positions, so two labels suffice to
+// upper-bound any shortest path that crosses Q. The first separator path
+// crossed by a shortest u-v path certifies a (1+ε)-approximation.
+//
+// Two construction modes are provided:
+//
+//   - CoverExact: per-vertex ε-covers built from exact residual distances
+//     (Thorup-style connections). Provably (1+ε); quadratic-ish
+//     construction, intended for moderate n and for auditing.
+//   - CoverPortal: a fixed number of evenly spaced portals per path plus
+//     each vertex's closest attachment to the path. One Dijkstra per
+//     portal; scalable. Stretch is measured rather than proven.
+package oracle
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pathsep/internal/core"
+	"pathsep/internal/graph"
+	"pathsep/internal/shortest"
+)
+
+// Mode selects the portal construction.
+type Mode int
+
+const (
+	// CoverExact builds per-vertex ε-covers with exact residual distances;
+	// the (1+ε) guarantee of Theorem 2 holds.
+	CoverExact Mode = iota
+	// CoverPortal places a fixed number of evenly spaced portals per path;
+	// scalable, with measured stretch.
+	CoverPortal
+)
+
+// Options configures Build.
+type Options struct {
+	// Epsilon is the ε of the (1+ε) approximation; must be > 0.
+	Epsilon float64
+	// Mode selects the construction; CoverExact by default.
+	Mode Mode
+	// PortalsPerPath bounds the evenly spaced portals per path in
+	// CoverPortal mode; 0 means ceil(4/ε).
+	PortalsPerPath int
+}
+
+// Key identifies a separator path: decomposition node, phase index within
+// its separator, and path index within the phase.
+type Key struct {
+	Node  int32
+	Phase int16
+	Path  int16
+}
+
+func keyLess(a, b Key) bool {
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	if a.Phase != b.Phase {
+		return a.Phase < b.Phase
+	}
+	return a.Path < b.Path
+}
+
+// Portal is one label entry: a position along the separator path (prefix
+// weight from the path start) and the exact distance from the labeled
+// vertex to that path vertex in the residual graph.
+type Portal struct {
+	Pos  float64
+	Dist float64
+}
+
+// Entry is the portal list a vertex stores for one separator path,
+// sorted by position.
+type Entry struct {
+	Key     Key
+	Portals []Portal
+}
+
+// Label is the complete distance label of one vertex: entries sorted by
+// Key. Two labels alone answer an approximate distance query
+// (the distributed distance-labeling scheme of Theorem 2).
+type Label struct {
+	Entries []Entry
+}
+
+// NumPortals returns the total portal count of the label (its size in
+// words, up to constants).
+func (l *Label) NumPortals() int {
+	total := 0
+	for _, e := range l.Entries {
+		total += len(e.Portals)
+	}
+	return total
+}
+
+// Oracle is the centralized distance oracle: all labels plus the
+// decomposition tree metadata.
+type Oracle struct {
+	Labels []Label
+	N      int
+	Eps    float64
+	mode   Mode
+}
+
+// Build constructs the oracle from a decomposition tree.
+func Build(t *core.Tree, opt Options) (*Oracle, error) {
+	if opt.Epsilon <= 0 {
+		return nil, fmt.Errorf("oracle: epsilon must be positive, got %v", opt.Epsilon)
+	}
+	o := &Oracle{
+		Labels: make([]Label, t.G.N()),
+		N:      t.G.N(),
+		Eps:    opt.Epsilon,
+		mode:   opt.Mode,
+	}
+	portalsPerPath := opt.PortalsPerPath
+	if portalsPerPath <= 0 {
+		portalsPerPath = int(math.Ceil(4 / opt.Epsilon))
+	}
+
+	add := func(rootV int, k Key, p Portal) {
+		lbl := &o.Labels[rootV]
+		if len(lbl.Entries) == 0 || lbl.Entries[len(lbl.Entries)-1].Key != k {
+			lbl.Entries = append(lbl.Entries, Entry{Key: k})
+		}
+		e := &lbl.Entries[len(lbl.Entries)-1]
+		e.Portals = append(e.Portals, p)
+	}
+
+	for _, node := range t.Nodes {
+		if node.Sep == nil {
+			continue
+		}
+		local := node.Sub.G
+		removed := make(map[int]bool)
+		for phaseIdx, phase := range node.Sep.Phases {
+			keep := make([]int, 0, local.N())
+			for v := 0; v < local.N(); v++ {
+				if !removed[v] {
+					keep = append(keep, v)
+				}
+			}
+			sub := graph.Induced(local, keep) // residual J
+			j := sub.G
+			toJ := make(map[int]int, len(sub.Orig))
+			for jv, lv := range sub.Orig {
+				toJ[lv] = jv
+			}
+			rootID := func(jv int) int { return node.Sub.Orig[sub.Orig[jv]] }
+
+			// Per-path J-local vertex lists and positions.
+			infos := make([]pathInfo, len(phase.Paths))
+			for pi, p := range phase.Paths {
+				info := pathInfo{
+					verts: make([]int, len(p.Vertices)),
+					pos:   make([]float64, len(p.Vertices)),
+				}
+				for x, lv := range p.Vertices {
+					jv, ok := toJ[lv]
+					if !ok {
+						return nil, fmt.Errorf("oracle: node %d phase %d path %d: vertex removed earlier", node.ID, phaseIdx, pi)
+					}
+					info.verts[x] = jv
+					if x > 0 {
+						w, ok := j.EdgeWeight(info.verts[x-1], jv)
+						if !ok {
+							return nil, fmt.Errorf("oracle: node %d phase %d path %d: non-edge on path", node.ID, phaseIdx, pi)
+						}
+						info.pos[x] = info.pos[x-1] + w
+					}
+				}
+				infos[pi] = info
+				k := Key{Node: int32(node.ID), Phase: int16(phaseIdx), Path: int16(pi)}
+				// Self entries: every path vertex is its own zero-distance
+				// portal.
+				for x, jv := range info.verts {
+					add(rootID(jv), k, Portal{Pos: info.pos[x], Dist: 0})
+				}
+			}
+
+			switch opt.Mode {
+			case CoverPortal:
+				for pi, info := range infos {
+					k := Key{Node: int32(node.ID), Phase: int16(phaseIdx), Path: int16(pi)}
+					// Closest-attachment entries via one multi-source run.
+					trQ := shortest.MultiSource(j, info.verts)
+					posOf := make(map[int]float64, len(info.verts))
+					for x, jv := range info.verts {
+						posOf[jv] = info.pos[x]
+					}
+					for w := 0; w < j.N(); w++ {
+						src := trQ.Source[w]
+						if src < 0 || trQ.Dist[w] == 0 {
+							continue
+						}
+						add(rootID(w), k, Portal{Pos: posOf[src], Dist: trQ.Dist[w]})
+					}
+					// Evenly spaced portals (by weight), endpoints included.
+					sel := selectEvenPortals(info.pos, portalsPerPath)
+					for _, x := range sel {
+						tr := shortest.Dijkstra(j, info.verts[x])
+						for w := 0; w < j.N(); w++ {
+							if math.IsInf(tr.Dist[w], 1) || tr.Dist[w] == 0 {
+								continue
+							}
+							add(rootID(w), k, Portal{Pos: info.pos[x], Dist: tr.Dist[w]})
+						}
+					}
+				}
+			default: // CoverExact
+				for w := 0; w < j.N(); w++ {
+					tr := shortest.Dijkstra(j, w)
+					for pi, info := range infos {
+						k := Key{Node: int32(node.ID), Phase: int16(phaseIdx), Path: int16(pi)}
+						for _, x := range epsCover(tr.Dist, info, opt.Epsilon) {
+							if info.verts[x] == w {
+								continue // self entry already present
+							}
+							add(rootID(w), k, Portal{Pos: info.pos[x], Dist: tr.Dist[info.verts[x]]})
+						}
+					}
+				}
+			}
+
+			for _, p := range phase.Paths {
+				for _, lv := range p.Vertices {
+					removed[lv] = true
+				}
+			}
+		}
+	}
+
+	for v := range o.Labels {
+		normalizeLabel(&o.Labels[v])
+	}
+	return o, nil
+}
+
+// selectEvenPortals picks at most p indices into pos, spaced evenly by
+// weight, always including the first and last.
+func selectEvenPortals(pos []float64, p int) []int {
+	n := len(pos)
+	if n == 0 {
+		return nil
+	}
+	if p < 2 {
+		p = 2
+	}
+	if n <= p {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	total := pos[n-1]
+	out := []int{0}
+	for i := 1; i < p-1; i++ {
+		target := total * float64(i) / float64(p-1)
+		x := sort.SearchFloat64s(pos, target)
+		if x >= n {
+			x = n - 1
+		}
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	if out[len(out)-1] != n-1 {
+		out = append(out, n-1)
+	}
+	return out
+}
+
+// pathInfo is a separator path in residual-local IDs with prefix-weight
+// positions along it.
+type pathInfo struct {
+	verts []int
+	pos   []float64
+}
+
+// epsCover greedily selects indices x into the path such that every path
+// vertex y reachable from w satisfies, for some selected x:
+// dist[x] + |pos[x]-pos[y]| <= (1+eps) * dist[y]. A vertex certifies its
+// own coverage when selected, so the invariant holds by construction.
+func epsCover(dist []float64, info pathInfo, eps float64) []int {
+	var chosen []int
+	for y := range info.verts {
+		dy := dist[info.verts[y]]
+		if math.IsInf(dy, 1) {
+			continue
+		}
+		covered := false
+		for _, x := range chosen {
+			dx := dist[info.verts[x]]
+			if dx+math.Abs(info.pos[x]-info.pos[y]) <= (1+eps)*dy {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			chosen = append(chosen, y)
+		}
+	}
+	return chosen
+}
+
+// normalizeLabel sorts entries by key, sorts portals by position, and
+// deduplicates portals at equal positions keeping the smaller distance.
+func normalizeLabel(l *Label) {
+	sort.Slice(l.Entries, func(i, j int) bool { return keyLess(l.Entries[i].Key, l.Entries[j].Key) })
+	// Merge duplicate keys (entries were appended per construction stage).
+	out := l.Entries[:0]
+	for _, e := range l.Entries {
+		if len(out) > 0 && out[len(out)-1].Key == e.Key {
+			out[len(out)-1].Portals = append(out[len(out)-1].Portals, e.Portals...)
+			continue
+		}
+		out = append(out, e)
+	}
+	l.Entries = out
+	for i := range l.Entries {
+		ps := l.Entries[i].Portals
+		sort.Slice(ps, func(a, b int) bool {
+			if ps[a].Pos != ps[b].Pos {
+				return ps[a].Pos < ps[b].Pos
+			}
+			return ps[a].Dist < ps[b].Dist
+		})
+		dedup := ps[:0]
+		for _, p := range ps {
+			if len(dedup) > 0 && dedup[len(dedup)-1].Pos == p.Pos {
+				continue // keep the smaller distance (sorted first)
+			}
+			dedup = append(dedup, p)
+		}
+		l.Entries[i].Portals = dedup
+	}
+}
+
+// Query returns a (1+ε)-approximate distance between u and v, or +Inf if
+// they are disconnected.
+func (o *Oracle) Query(u, v int) float64 {
+	if u == v {
+		return 0
+	}
+	return QueryLabels(&o.Labels[u], &o.Labels[v])
+}
+
+// QueryLabels answers an approximate distance query from two labels alone
+// (the distributed scheme): the minimum over shared separator paths of the
+// best portal-pair estimate.
+func QueryLabels(lu, lv *Label) float64 {
+	best := math.Inf(1)
+	i, j := 0, 0
+	for i < len(lu.Entries) && j < len(lv.Entries) {
+		a, b := lu.Entries[i], lv.Entries[j]
+		switch {
+		case a.Key == b.Key:
+			if est := pairMin(a.Portals, b.Portals); est < best {
+				best = est
+			}
+			i++
+			j++
+		case keyLess(a.Key, b.Key):
+			i++
+		default:
+			j++
+		}
+	}
+	return best
+}
+
+// pairMin computes min over portals p in a, q in b of
+// p.Dist + |p.Pos - q.Pos| + q.Dist in linear time via a merged sweep
+// (both lists are sorted by position).
+func pairMin(a, b []Portal) float64 {
+	best := math.Inf(1)
+	// Sweep left-to-right: for each element of one list, combine with the
+	// best (Dist - Pos) seen so far on the other list; then symmetric.
+	minA := math.Inf(1) // min over seen a of (Dist - Pos)
+	minB := math.Inf(1)
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		if j >= len(b) || (i < len(a) && a[i].Pos <= b[j].Pos) {
+			if est := a[i].Dist + a[i].Pos + minB; est < best {
+				best = est
+			}
+			if v := a[i].Dist - a[i].Pos; v < minA {
+				minA = v
+			}
+			i++
+		} else {
+			if est := b[j].Dist + b[j].Pos + minA; est < best {
+				best = est
+			}
+			if v := b[j].Dist - b[j].Pos; v < minB {
+				minB = v
+			}
+			j++
+		}
+	}
+	return best
+}
+
+// SpacePortals returns the total number of portal entries across all
+// labels — the oracle's space in words, up to constants.
+func (o *Oracle) SpacePortals() int {
+	total := 0
+	for i := range o.Labels {
+		total += o.Labels[i].NumPortals()
+	}
+	return total
+}
+
+// MaxLabelPortals returns the largest label size in portals.
+func (o *Oracle) MaxLabelPortals() int {
+	best := 0
+	for i := range o.Labels {
+		if p := o.Labels[i].NumPortals(); p > best {
+			best = p
+		}
+	}
+	return best
+}
+
+// AuditResult summarizes a stretch audit against exact distances.
+type AuditResult struct {
+	Pairs      int
+	MaxStretch float64
+	// MeanStretch averages over audited (connected, distinct) pairs.
+	MeanStretch float64
+	// Underestimates counts pairs where the estimate fell below the true
+	// distance — always zero for a correct oracle.
+	Underestimates int
+}
+
+// Audit compares Query against fresh Dijkstra runs over sampled pairs
+// drawn by next() (e.g. a closure over math/rand). It is the library form
+// of the test-suite stretch audit, reusable by experiments and CLIs.
+func (o *Oracle) Audit(g *graph.Graph, pairs int, next func(n int) int) AuditResult {
+	res := AuditResult{}
+	sum := 0.0
+	for i := 0; i < pairs; i++ {
+		u := next(o.N)
+		v := next(o.N)
+		if u == v {
+			continue
+		}
+		d := shortest.Dijkstra(g, u).Dist[v]
+		if math.IsInf(d, 1) || d == 0 {
+			continue
+		}
+		est := o.Query(u, v)
+		if est < d-1e-9 {
+			res.Underestimates++
+		}
+		ratio := est / d
+		if ratio > res.MaxStretch {
+			res.MaxStretch = ratio
+		}
+		sum += ratio
+		res.Pairs++
+	}
+	if res.Pairs > 0 {
+		res.MeanStretch = sum / float64(res.Pairs)
+	}
+	return res
+}

@@ -1,0 +1,129 @@
+// Package pqueue implements an indexed binary min-heap keyed by float64
+// priorities, the workhorse of every Dijkstra run in this library.
+//
+// Items are dense integer IDs in [0, capacity). DecreaseKey is O(log n) via
+// an index table. The zero value is not usable; call New.
+package pqueue
+
+// PQ is an indexed min-heap over integer items with float64 keys.
+type PQ struct {
+	heap []int     // heap[i] = item at heap position i
+	pos  []int     // pos[item] = heap position, or -1 if absent
+	key  []float64 // key[item] = current priority
+}
+
+// New returns a heap able to hold items 0..capacity-1.
+func New(capacity int) *PQ {
+	pos := make([]int, capacity)
+	for i := range pos {
+		pos[i] = -1
+	}
+	return &PQ{
+		heap: make([]int, 0, capacity),
+		pos:  pos,
+		key:  make([]float64, capacity),
+	}
+}
+
+// Len returns the number of items currently in the heap.
+func (q *PQ) Len() int { return len(q.heap) }
+
+// Contains reports whether the item is currently in the heap.
+func (q *PQ) Contains(item int) bool { return q.pos[item] >= 0 }
+
+// Key returns the last priority set for item (meaningful only if the item
+// was pushed at least once).
+func (q *PQ) Key(item int) float64 { return q.key[item] }
+
+// Push inserts item with the given priority. If the item is already
+// present, its key is updated (both decrease and increase are handled).
+func (q *PQ) Push(item int, key float64) {
+	if q.pos[item] >= 0 {
+		q.update(item, key)
+		return
+	}
+	q.key[item] = key
+	q.pos[item] = len(q.heap)
+	q.heap = append(q.heap, item)
+	q.up(len(q.heap) - 1)
+}
+
+// DecreaseKey lowers the item's priority. It is a no-op if the new key is
+// not lower or the item is absent.
+func (q *PQ) DecreaseKey(item int, key float64) {
+	if q.pos[item] < 0 || key >= q.key[item] {
+		return
+	}
+	q.key[item] = key
+	q.up(q.pos[item])
+}
+
+func (q *PQ) update(item int, key float64) {
+	old := q.key[item]
+	q.key[item] = key
+	switch {
+	case key < old:
+		q.up(q.pos[item])
+	case key > old:
+		q.down(q.pos[item])
+	}
+}
+
+// Pop removes and returns the item with the minimum key.
+// It panics on an empty heap; check Len first.
+func (q *PQ) Pop() (item int, key float64) {
+	item = q.heap[0]
+	key = q.key[item]
+	last := len(q.heap) - 1
+	q.swap(0, last)
+	q.heap = q.heap[:last]
+	q.pos[item] = -1
+	if last > 0 {
+		q.down(0)
+	}
+	return item, key
+}
+
+// Reset empties the heap so it can be reused without reallocation.
+func (q *PQ) Reset() {
+	for _, it := range q.heap {
+		q.pos[it] = -1
+	}
+	q.heap = q.heap[:0]
+}
+
+func (q *PQ) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q.key[q.heap[i]] >= q.key[q.heap[parent]] {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *PQ) down(i int) {
+	n := len(q.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.key[q.heap[l]] < q.key[q.heap[smallest]] {
+			smallest = l
+		}
+		if r < n && q.key[q.heap[r]] < q.key[q.heap[smallest]] {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (q *PQ) swap(i, j int) {
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.pos[q.heap[i]] = i
+	q.pos[q.heap[j]] = j
+}

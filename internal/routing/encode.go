@@ -1,0 +1,131 @@
+package routing
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Encode serializes the address compactly (the routing scheme's "label"):
+// varint-delta keys, varint portal indices and DFS numbers, raw float64
+// distances. Its byte length measures the poly-logarithmic address size
+// the paper claims for labeled routing.
+func (a *Addr) Encode() []byte {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(len(a.Entries)))
+	prevNode := int64(0)
+	for _, e := range a.Entries {
+		buf = binary.AppendVarint(buf, int64(e.Key.Node)-prevNode)
+		prevNode = int64(e.Key.Node)
+		buf = binary.AppendUvarint(buf, uint64(e.Key.Phase))
+		buf = binary.AppendUvarint(buf, uint64(e.Key.Path))
+		flags := uint64(0)
+		if e.HasAttach {
+			flags = 1
+		}
+		buf = binary.AppendUvarint(buf, flags)
+		if e.HasAttach {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.AttDist))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.AttPos))
+			buf = binary.AppendVarint(buf, int64(e.AttDFS))
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(e.Ports)))
+		for _, p := range e.Ports {
+			buf = binary.AppendUvarint(buf, uint64(p.Idx))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.Dist))
+			buf = binary.AppendVarint(buf, int64(p.DFS))
+		}
+	}
+	return buf
+}
+
+// DecodeAddr parses an address produced by Encode.
+func DecodeAddr(buf []byte) (*Addr, error) {
+	a := &Addr{}
+	ne, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, fmt.Errorf("routing: truncated address header")
+	}
+	buf = buf[n:]
+	if ne > uint64(len(buf))+1 {
+		return nil, fmt.Errorf("routing: header claims %d entries in %d bytes", ne, len(buf))
+	}
+	prevNode := int64(0)
+	for i := uint64(0); i < ne; i++ {
+		var e AddrEntry
+		dn, n := binary.Varint(buf)
+		if n <= 0 {
+			return nil, fmt.Errorf("routing: truncated entry %d", i)
+		}
+		buf = buf[n:]
+		node := prevNode + dn
+		prevNode = node
+		phase, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return nil, fmt.Errorf("routing: truncated entry %d phase", i)
+		}
+		buf = buf[n:]
+		path, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return nil, fmt.Errorf("routing: truncated entry %d path", i)
+		}
+		buf = buf[n:]
+		e.Key.Node = int32(node)
+		e.Key.Phase = int16(phase)
+		e.Key.Path = int16(path)
+		flags, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return nil, fmt.Errorf("routing: truncated entry %d flags", i)
+		}
+		buf = buf[n:]
+		if flags&1 != 0 {
+			if len(buf) < 16 {
+				return nil, fmt.Errorf("routing: truncated entry %d attach", i)
+			}
+			e.HasAttach = true
+			e.AttDist = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+			e.AttPos = math.Float64frombits(binary.LittleEndian.Uint64(buf[8:]))
+			buf = buf[16:]
+			dfs, n := binary.Varint(buf)
+			if n <= 0 {
+				return nil, fmt.Errorf("routing: truncated entry %d attach dfs", i)
+			}
+			buf = buf[n:]
+			e.AttDFS = int32(dfs)
+		}
+		np, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return nil, fmt.Errorf("routing: truncated entry %d port count", i)
+		}
+		buf = buf[n:]
+		if np > uint64(len(buf))+1 {
+			return nil, fmt.Errorf("routing: entry %d claims %d ports in %d bytes", i, np, len(buf))
+		}
+		for j := uint64(0); j < np; j++ {
+			idx, n := binary.Uvarint(buf)
+			if n <= 0 {
+				return nil, fmt.Errorf("routing: truncated port %d/%d", i, j)
+			}
+			buf = buf[n:]
+			if len(buf) < 8 {
+				return nil, fmt.Errorf("routing: truncated port %d/%d dist", i, j)
+			}
+			dist := math.Float64frombits(binary.LittleEndian.Uint64(buf))
+			buf = buf[8:]
+			dfs, n := binary.Varint(buf)
+			if n <= 0 {
+				return nil, fmt.Errorf("routing: truncated port %d/%d dfs", i, j)
+			}
+			buf = buf[n:]
+			e.Ports = append(e.Ports, AddrPort{Idx: int16(idx), Dist: dist, DFS: int32(dfs)})
+		}
+		a.Entries = append(a.Entries, e)
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("routing: %d trailing bytes", len(buf))
+	}
+	return a, nil
+}
+
+// Bits returns the serialized address size in bits.
+func (a *Addr) Bits() int { return 8 * len(a.Encode()) }

@@ -1,0 +1,248 @@
+package routing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pathsep/internal/core"
+	"pathsep/internal/embed"
+	"pathsep/internal/graph"
+	"pathsep/internal/shortest"
+)
+
+func buildRouter(t *testing.T, g *graph.Graph, rot *embed.Rotation, eps float64) *Router {
+	t.Helper()
+	tree, err := core.Decompose(g, core.Options{Strategy: core.Auto{}, Rot: rot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Build(tree, Options{Epsilon: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// auditRouting routes between sampled pairs and verifies delivery, that
+// the reported path is a real walk in g, and records the worst stretch.
+func auditRouting(t *testing.T, r *Router, pairs int, rng *rand.Rand) float64 {
+	t.Helper()
+	g := r.G
+	worst := 1.0
+	maxHops := 50*g.N() + 100
+	for trial := 0; trial < pairs; trial++ {
+		s := rng.Intn(g.N())
+		tgt := rng.Intn(g.N())
+		d := shortest.Dijkstra(g, s).Dist[tgt]
+		if math.IsInf(d, 1) {
+			continue
+		}
+		path, ok := r.Route(s, tgt, maxHops)
+		if !ok {
+			t.Fatalf("trial %d: no delivery from %d to %d (path %v)", trial, s, tgt, path)
+		}
+		if path[0] != s || path[len(path)-1] != tgt {
+			t.Fatalf("trial %d: path endpoints %v", trial, path)
+		}
+		// Consecutive hops must be edges.
+		w := r.RouteWeight(path)
+		if math.IsInf(w, 1) {
+			t.Fatalf("trial %d: route is not a walk: %v", trial, path)
+		}
+		if s != tgt && d > 0 {
+			if ratio := w / d; ratio > worst {
+				worst = ratio
+			}
+		}
+	}
+	return worst
+}
+
+func TestRouteGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	r := embed.Grid(8, 8, graph.UniformWeights(1, 3), rng)
+	router := buildRouter(t, r.G, r, 0.25)
+	worst := auditRouting(t, router, 150, rng)
+	if worst > 2.0 {
+		t.Errorf("worst routing stretch %v too large", worst)
+	}
+}
+
+func TestRouteTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.RandomTree(60, graph.UniformWeights(1, 4), rng)
+	router := buildRouter(t, g, nil, 0.25)
+	worst := auditRouting(t, router, 150, rng)
+	// Tree routing should be exact: there is only one path.
+	if worst > 1+1e-9 {
+		t.Errorf("tree routing stretch %v, want 1", worst)
+	}
+}
+
+func TestRouteKTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.KTree(70, 2, graph.UniformWeights(1, 3), rng)
+	router := buildRouter(t, g, nil, 0.25)
+	worst := auditRouting(t, router, 150, rng)
+	if worst > 2.0 {
+		t.Errorf("worst routing stretch %v", worst)
+	}
+}
+
+func TestRouteApollonian(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	r := embed.Apollonian(80, graph.UniformWeights(1, 2), rng)
+	router := buildRouter(t, r.G, r, 0.25)
+	worst := auditRouting(t, router, 150, rng)
+	if worst > 2.0 {
+		t.Errorf("worst routing stretch %v", worst)
+	}
+}
+
+func TestRouteAllPairsSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	r := embed.Grid(5, 5, graph.UnitWeights(), rng)
+	router := buildRouter(t, r.G, r, 0.2)
+	n := r.G.N()
+	for s := 0; s < n; s++ {
+		for tgt := 0; tgt < n; tgt++ {
+			path, ok := router.Route(s, tgt, 50*n)
+			if !ok {
+				t.Fatalf("no route %d -> %d", s, tgt)
+			}
+			if path[len(path)-1] != tgt {
+				t.Fatalf("route %d -> %d ends at %d", s, tgt, path[len(path)-1])
+			}
+		}
+	}
+}
+
+func TestTableSizesPolylog(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	rs := embed.Grid(6, 6, graph.UnitWeights(), rng)
+	small := buildRouter(t, rs.G, rs, 0.5)
+	rb := embed.Grid(18, 18, graph.UnitWeights(), rng)
+	big := buildRouter(t, rb.G, rb, 0.5)
+	// n grew 9x; max table size should grow far slower.
+	if big.MaxTableWords() > 5*small.MaxTableWords() {
+		t.Errorf("table growth: %d -> %d for 9x vertices", small.MaxTableWords(), big.MaxTableWords())
+	}
+	if small.SpaceWords() <= 0 || small.MaxAddrWords() <= 0 {
+		t.Fatal("space accounting")
+	}
+}
+
+func TestEstimateMatchesRealizedLength(t *testing.T) {
+	// Every plan estimate is exactly realizable: the route weight must
+	// equal the chosen estimate.
+	rng := rand.New(rand.NewSource(8))
+	r := embed.Grid(7, 7, graph.UniformWeights(1, 3), rng)
+	router := buildRouter(t, r.G, r, 0.25)
+	for trial := 0; trial < 100; trial++ {
+		s, tgt := rng.Intn(49), rng.Intn(49)
+		if s == tgt {
+			continue
+		}
+		est, path, ok := router.EstimateAndRoute(s, tgt, 10*49)
+		if !ok {
+			t.Fatalf("no route %d->%d", s, tgt)
+		}
+		if w := router.RouteWeight(path); math.Abs(w-est) > 1e-9 {
+			t.Fatalf("route weight %v != estimate %v (%d->%d)", w, est, s, tgt)
+		}
+	}
+}
+
+func TestStretchCappedAtThree(t *testing.T) {
+	// The attachment plan caps stretch at 3 by the first-crossing
+	// argument, portal plans usually do much better.
+	rng := rand.New(rand.NewSource(9))
+	r := embed.Apollonian(60, graph.UniformWeights(1, 2), rng)
+	router := buildRouter(t, r.G, r, 0.25)
+	worst := auditRouting(t, router, 200, rng)
+	if worst > 3+1e-9 {
+		t.Errorf("stretch %v exceeds the 3 cap", worst)
+	}
+}
+
+func TestRouteToSelf(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := graph.Path(5, graph.UnitWeights(), rng)
+	router := buildRouter(t, g, nil, 0.5)
+	path, ok := router.Route(3, 3, 10)
+	if !ok || len(path) != 1 || path[0] != 3 {
+		t.Fatalf("self route: %v %v", path, ok)
+	}
+}
+
+func TestAddrEncodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	r := embed.Grid(6, 6, graph.UniformWeights(1, 3), rng)
+	router := buildRouter(t, r.G, r, 0.25)
+	for v := 0; v < r.G.N(); v++ {
+		buf := router.Addrs[v].Encode()
+		got, err := DecodeAddr(buf)
+		if err != nil {
+			t.Fatalf("addr %d: %v", v, err)
+		}
+		if len(got.Entries) != len(router.Addrs[v].Entries) {
+			t.Fatalf("addr %d: entry count", v)
+		}
+		for i, e := range got.Entries {
+			want := router.Addrs[v].Entries[i]
+			if e.Key != want.Key || e.HasAttach != want.HasAttach ||
+				e.AttDist != want.AttDist || e.AttPos != want.AttPos || e.AttDFS != want.AttDFS {
+				t.Fatalf("addr %d entry %d header mismatch", v, i)
+			}
+			if len(e.Ports) != len(want.Ports) {
+				t.Fatalf("addr %d entry %d ports", v, i)
+			}
+			for j := range e.Ports {
+				if e.Ports[j] != want.Ports[j] {
+					t.Fatalf("addr %d entry %d port %d", v, i, j)
+				}
+			}
+		}
+		if router.Addrs[v].Bits() != 8*len(buf) {
+			t.Fatalf("Bits() inconsistent")
+		}
+	}
+}
+
+func TestDecodeAddrRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	r := embed.Grid(4, 4, graph.UnitWeights(), rng)
+	router := buildRouter(t, r.G, r, 0.5)
+	buf := router.Addrs[3].Encode()
+	if _, err := DecodeAddr(buf[:len(buf)/3]); err == nil {
+		t.Fatal("truncated accepted")
+	}
+	if _, err := DecodeAddr(append(append([]byte{}, buf...), 1)); err == nil {
+		t.Fatal("trailing accepted")
+	}
+	if _, err := DecodeAddr(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+}
+
+func TestAddrBitsPolylog(t *testing.T) {
+	// The routing address (label) should stay poly-logarithmic in bits.
+	rng := rand.New(rand.NewSource(12))
+	rs := embed.Grid(6, 6, graph.UnitWeights(), rng)
+	small := buildRouter(t, rs.G, rs, 0.5)
+	rb := embed.Grid(18, 18, graph.UnitWeights(), rng)
+	big := buildRouter(t, rb.G, rb, 0.5)
+	maxBits := func(r *Router) int {
+		best := 0
+		for v := range r.Addrs {
+			if b := r.Addrs[v].Bits(); b > best {
+				best = b
+			}
+		}
+		return best
+	}
+	if maxBits(big) > 5*maxBits(small) {
+		t.Errorf("address bits grew too fast: %d -> %d for 9x vertices", maxBits(small), maxBits(big))
+	}
+}

@@ -1,0 +1,126 @@
+package shortest
+
+import (
+	"math"
+
+	"pathsep/internal/graph"
+	"pathsep/internal/pqueue"
+)
+
+// Bidirectional computes the shortest-path distance between s and t by
+// alternating Dijkstra expansions from both ends, settling roughly half
+// the vertices a unidirectional run would. Returns +Inf if disconnected.
+func Bidirectional(g *graph.Graph, s, t int) float64 {
+	if s == t {
+		return 0
+	}
+	n := g.N()
+	distF := make([]float64, n)
+	distB := make([]float64, n)
+	for i := 0; i < n; i++ {
+		distF[i] = math.Inf(1)
+		distB[i] = math.Inf(1)
+	}
+	distF[s], distB[t] = 0, 0
+	pqF, pqB := pqueue.New(n), pqueue.New(n)
+	pqF.Push(s, 0)
+	pqB.Push(t, 0)
+	doneF := make([]bool, n)
+	doneB := make([]bool, n)
+	best := math.Inf(1)
+
+	expand := func(pq *pqueue.PQ, dist, other []float64, done []bool) bool {
+		if pq.Len() == 0 {
+			return false
+		}
+		v, dv := pq.Pop()
+		if done[v] {
+			return true
+		}
+		done[v] = true
+		if !math.IsInf(other[v], 1) && dv+other[v] < best {
+			best = dv + other[v]
+		}
+		for _, h := range g.Neighbors(v) {
+			nd := dv + h.W
+			if nd < dist[h.To] {
+				dist[h.To] = nd
+				pq.Push(h.To, nd)
+				if !math.IsInf(other[h.To], 1) && nd+other[h.To] < best {
+					best = nd + other[h.To]
+				}
+			}
+		}
+		return true
+	}
+
+	for pqF.Len() > 0 || pqB.Len() > 0 {
+		// Standard stopping rule: stop when the sum of the two frontier
+		// minima reaches the best meeting distance.
+		topF, topB := math.Inf(1), math.Inf(1)
+		if pqF.Len() > 0 {
+			_, topF = peek(pqF)
+		}
+		if pqB.Len() > 0 {
+			_, topB = peek(pqB)
+		}
+		if topF+topB >= best {
+			break
+		}
+		if topF <= topB {
+			expand(pqF, distF, distB, doneF)
+		} else {
+			expand(pqB, distB, distF, doneB)
+		}
+	}
+	return best
+}
+
+// peek returns the minimum item without removing it.
+func peek(pq *pqueue.PQ) (int, float64) {
+	item, key := pq.Pop()
+	pq.Push(item, key)
+	return item, key
+}
+
+// AStar computes the shortest-path distance from s to t guided by an
+// admissible heuristic h (h(v) must lower-bound d(v,t); h(t) should be
+// 0). With h == nil it degenerates to Dijkstra. It returns the distance
+// and the number of vertices settled (the work saved by the heuristic).
+func AStar(g *graph.Graph, s, t int, h func(int) float64) (float64, int) {
+	if s == t {
+		return 0, 0
+	}
+	if h == nil {
+		h = func(int) float64 { return 0 }
+	}
+	n := g.N()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[s] = 0
+	pq := pqueue.New(n)
+	pq.Push(s, h(s))
+	done := make([]bool, n)
+	settled := 0
+	for pq.Len() > 0 {
+		v, _ := pq.Pop()
+		if done[v] {
+			continue
+		}
+		done[v] = true
+		settled++
+		if v == t {
+			return dist[t], settled
+		}
+		for _, e := range g.Neighbors(v) {
+			nd := dist[v] + e.W
+			if nd < dist[e.To] {
+				dist[e.To] = nd
+				pq.Push(e.To, nd+h(e.To))
+			}
+		}
+	}
+	return math.Inf(1), settled
+}

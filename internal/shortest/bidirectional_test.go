@@ -1,0 +1,83 @@
+package shortest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pathsep/internal/graph"
+)
+
+func TestBidirectionalMatchesDijkstra(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.ConnectedGNM(60, 150, graph.UniformWeights(0.5, 5), rng)
+		tr := Dijkstra(g, 0)
+		for v := 0; v < g.N(); v++ {
+			got := Bidirectional(g, 0, v)
+			if math.Abs(got-tr.Dist[v]) > 1e-9 {
+				t.Fatalf("seed %d: Bidirectional(0,%d) = %v, want %v", seed, v, got, tr.Dist[v])
+			}
+		}
+	}
+}
+
+func TestBidirectionalDisconnected(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(2, 3, 1)
+	g := b.Build()
+	if got := Bidirectional(g, 0, 3); !math.IsInf(got, 1) {
+		t.Fatalf("got %v, want +Inf", got)
+	}
+	if got := Bidirectional(g, 1, 1); got != 0 {
+		t.Fatalf("self distance %v", got)
+	}
+}
+
+func TestAStarZeroHeuristicIsDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.ConnectedGNM(50, 120, graph.UniformWeights(1, 3), rng)
+	tr := Dijkstra(g, 3)
+	for v := 0; v < g.N(); v += 3 {
+		got, _ := AStar(g, 3, v, nil)
+		if math.Abs(got-tr.Dist[v]) > 1e-9 {
+			t.Fatalf("AStar(3,%d) = %v, want %v", v, got, tr.Dist[v])
+		}
+	}
+}
+
+func TestAStarWithPerfectHeuristicSettlesLess(t *testing.T) {
+	// On a path graph, the exact distance-to-target heuristic should make
+	// A* walk straight to the target.
+	rng := rand.New(rand.NewSource(2))
+	g := graph.Path(200, graph.UnitWeights(), rng)
+	h := func(v int) float64 { return float64(199 - v) }
+	d, settled := AStar(g, 0, 199, h)
+	if d != 199 {
+		t.Fatalf("d = %v", d)
+	}
+	if settled > 205 {
+		t.Fatalf("perfect heuristic settled %d vertices", settled)
+	}
+	_, settledBlind := AStar(g, 0, 199, nil)
+	if settled > settledBlind {
+		t.Fatalf("heuristic hurt: %d > %d", settled, settledBlind)
+	}
+}
+
+func TestQuickBidirectionalAgainstDijkstra(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%40 + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.ConnectedGNM(n, 3*n, graph.UniformWeights(0.5, 4), rng)
+		s, tt := rng.Intn(n), rng.Intn(n)
+		want := Dijkstra(g, s).Dist[tt]
+		got := Bidirectional(g, s, tt)
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,225 @@
+package shortest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pathsep/internal/graph"
+)
+
+// bellmanFord is an independent reference implementation for cross-checking
+// Dijkstra.
+func bellmanFord(g *graph.Graph, src int) []float64 {
+	dist := make([]float64, g.N())
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	for iter := 0; iter < g.N(); iter++ {
+		changed := false
+		g.Edges(func(u, v int, w float64) {
+			if dist[u]+w < dist[v] {
+				dist[v] = dist[u] + w
+				changed = true
+			}
+			if dist[v]+w < dist[u] {
+				dist[u] = dist[v] + w
+				changed = true
+			}
+		})
+		if !changed {
+			break
+		}
+	}
+	return dist
+}
+
+func TestDijkstraPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.Path(5, graph.UnitWeights(), rng)
+	tr := Dijkstra(g, 0)
+	for v := 0; v < 5; v++ {
+		if tr.Dist[v] != float64(v) {
+			t.Errorf("dist[%d] = %v", v, tr.Dist[v])
+		}
+		if tr.Hops[v] != v {
+			t.Errorf("hops[%d] = %d", v, tr.Hops[v])
+		}
+	}
+	p := tr.PathTo(4)
+	want := []int{0, 1, 2, 3, 4}
+	if len(p) != len(want) {
+		t.Fatalf("path %v", p)
+	}
+	for i := range p {
+		if p[i] != want[i] {
+			t.Fatalf("path %v", p)
+		}
+	}
+}
+
+func TestDijkstraMatchesBellmanFord(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.ConnectedGNM(40, 100, graph.UniformWeights(0.1, 5), rng)
+		tr := Dijkstra(g, 0)
+		ref := bellmanFord(g, 0)
+		for v := 0; v < g.N(); v++ {
+			if math.Abs(tr.Dist[v]-ref[v]) > 1e-9 {
+				t.Fatalf("seed %d: dist[%d] = %v, ref %v", seed, v, tr.Dist[v], ref[v])
+			}
+		}
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(2, 3, 1)
+	g := b.Build()
+	tr := Dijkstra(g, 0)
+	if !math.IsInf(tr.Dist[2], 1) || tr.Source[2] != -1 {
+		t.Fatal("vertex 2 should be unreachable")
+	}
+	if tr.PathTo(3) != nil {
+		t.Fatal("PathTo unreachable should be nil")
+	}
+}
+
+func TestMultiSource(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.Path(10, graph.UnitWeights(), rng)
+	tr := MultiSource(g, []int{0, 9})
+	if tr.Dist[4] != 4 || tr.Dist[5] != 4 {
+		t.Fatalf("multi-source dist: %v %v", tr.Dist[4], tr.Dist[5])
+	}
+	if tr.Source[1] != 0 || tr.Source[8] != 9 {
+		t.Fatalf("sources: %d %d", tr.Source[1], tr.Source[8])
+	}
+}
+
+func TestMultiSourceOffsets(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.Path(6, graph.UnitWeights(), rng)
+	// Source 0 with offset 10, source 5 with offset 0: everything should be
+	// reached from 5.
+	tr := MultiSourceOffsets(g, []int{0, 5}, []float64{10, 0})
+	for v := 0; v < 6; v++ {
+		if v >= 3 && tr.Source[v] != 5 {
+			t.Errorf("source[%d] = %d", v, tr.Source[v])
+		}
+	}
+	if tr.Dist[0] != 5 { // min(10, 0+5)
+		t.Errorf("dist[0] = %v", tr.Dist[0])
+	}
+}
+
+func TestTreePath(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.BinaryTree(15, graph.UnitWeights(), rng)
+	tr := Dijkstra(g, 0)
+	p := tr.TreePath(0, 14) // root to leaf
+	if p == nil || p[0] != 0 || p[len(p)-1] != 14 {
+		t.Fatalf("TreePath = %v", p)
+	}
+	if tr.TreePath(14, 13) != nil {
+		t.Fatal("non-ancestor TreePath should be nil")
+	}
+}
+
+func TestPathLengthAndIsShortest(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.Cycle(6, graph.UnitWeights(), rng)
+	l, ok := PathLength(g, []int{0, 1, 2, 3})
+	if !ok || l != 3 {
+		t.Fatalf("PathLength = %v %v", l, ok)
+	}
+	if _, ok := PathLength(g, []int{0, 2}); ok {
+		t.Fatal("non-edge path accepted")
+	}
+	if !IsShortestPath(g, []int{0, 1, 2}) {
+		t.Fatal("0-1-2 is shortest in C6")
+	}
+	if IsShortestPath(g, []int{0, 1, 2, 3, 4}) {
+		t.Fatal("0..4 the long way is not shortest in C6")
+	}
+	if !IsShortestPath(g, []int{3}) {
+		t.Fatal("single vertex is trivially shortest")
+	}
+	if IsShortestPath(g, nil) {
+		t.Fatal("empty path is not a path")
+	}
+}
+
+func TestEccentricityAndDiameter(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := graph.Path(10, graph.UnitWeights(), rng)
+	ecc, far := Eccentricity(g, 0)
+	if ecc != 9 || far != 9 {
+		t.Fatalf("ecc = %v far = %d", ecc, far)
+	}
+	if d := DiameterApprox(g, 5); d != 9 {
+		t.Fatalf("diameter = %v", d)
+	}
+}
+
+func TestAspectRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := graph.Path(5, graph.UnitWeights(), rng)
+	if ar := AspectRatio(g); ar != 4 {
+		t.Fatalf("aspect ratio = %v", ar)
+	}
+}
+
+// Property: Dijkstra distances satisfy the triangle inequality over edges
+// (relaxation fixpoint) and PathTo lengths equal Dist.
+func TestQuickDijkstraFixpoint(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%30 + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.ConnectedGNM(n, 3*n, graph.UniformWeights(0.5, 4), rng)
+		tr := Dijkstra(g, 0)
+		okAll := true
+		g.Edges(func(u, v int, w float64) {
+			if tr.Dist[v] > tr.Dist[u]+w+1e-9 || tr.Dist[u] > tr.Dist[v]+w+1e-9 {
+				okAll = false
+			}
+		})
+		for v := 0; v < n && okAll; v++ {
+			p := tr.PathTo(v)
+			l, ok := PathLength(g, p)
+			if !ok || math.Abs(l-tr.Dist[v]) > 1e-9 {
+				okAll = false
+			}
+		}
+		return okAll
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every SP-tree path is itself a shortest path (subpath
+// optimality), the key fact Definition 1 and the oracle rely on.
+func TestQuickSubpathOptimality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.ConnectedGNM(25, 60, graph.UniformWeights(1, 3), rng)
+		tr := Dijkstra(g, 0)
+		for v := 0; v < g.N(); v++ {
+			p := tr.PathTo(v)
+			if len(p) > 2 {
+				mid := p[len(p)/2:]
+				if !IsShortestPath(g, mid) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

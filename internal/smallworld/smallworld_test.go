@@ -1,0 +1,203 @@
+package smallworld
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pathsep/internal/core"
+	"pathsep/internal/embed"
+	"pathsep/internal/graph"
+	"pathsep/internal/shortest"
+)
+
+func decomposeGrid(t *testing.T, side int, w graph.WeightFn, seed int64) *core.Tree {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	r := embed.Grid(side, side, w, rng)
+	tree, err := core.Decompose(r.G, core.Options{Strategy: core.Auto{}, Rot: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestAugmentModels(t *testing.T) {
+	tree := decomposeGrid(t, 8, graph.UnitWeights(), 1)
+	rng := rand.New(rand.NewSource(2))
+	for _, m := range []Model{ModelPathSeparator, ModelClosestSeparator, ModelUniform, ModelNone} {
+		a, err := Augment(tree, m, rng)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if len(a.Long) != tree.G.N() {
+			t.Fatalf("%v: Long has %d entries", m, len(a.Long))
+		}
+		linked := 0
+		for v, l := range a.Long {
+			if l >= tree.G.N() {
+				t.Fatalf("%v: contact %d out of range", m, l)
+			}
+			if l >= 0 && l != v {
+				linked++
+			}
+		}
+		if m == ModelNone && linked != 0 {
+			t.Fatalf("ModelNone added %d links", linked)
+		}
+		if m != ModelNone && linked < tree.G.N()/2 {
+			t.Fatalf("%v: only %d/%d vertices linked", m, linked, tree.G.N())
+		}
+	}
+}
+
+func TestLandmarksClaimOne(t *testing.T) {
+	// Claim 1: for every x on the path there is a landmark l with
+	// d_Q(l, x) <= (3/4) d_J(v, x). We check the path-metric form: with
+	// d = d_J(v, x_c), for all x: min over l of |pos[l]-pos[x]| <=
+	// (3/4) * max(d, |pos[x]-pos[x_c]| - d) is implied; here we verify the
+	// exact inequality using d_J(v,x) >= max(d, d_Q(x_c,x) - d) (triangle
+	// inequality through x_c, as Q is a shortest path).
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 5 + rng.Intn(60)
+		pos := make([]float64, n)
+		for i := 1; i < n; i++ {
+			pos[i] = pos[i-1] + 0.25 + rng.Float64()*3
+		}
+		c := rng.Intn(n)
+		d := rng.Float64() * 10
+		delta := pos[n-1] + d + 1
+		lm := Landmarks(pos, c, d, delta)
+		if len(lm) == 0 {
+			t.Fatal("no landmarks")
+		}
+		dv := func(x int) float64 {
+			// Lower bound on d_J(v,x): both d and d_Q(c,x)-d are valid.
+			lb := d
+			if alt := math.Abs(pos[x]-pos[c]) - d; alt > lb {
+				lb = alt
+			}
+			return lb
+		}
+		for x := 0; x < n; x++ {
+			lbound := dv(x)
+			best := math.Inf(1)
+			for _, l := range lm {
+				if dq := math.Abs(pos[l] - pos[x]); dq < best {
+					best = dq
+				}
+			}
+			// Claim 1 promises coverage <= (3/4) d_J(v,x); our check uses
+			// the lower bound on d_J(v,x), which makes the test strictly
+			// harder only when the bound is tight. Use the paper's 3/4
+			// with slack for the d<=0-normalization corner.
+			if lbound > 1 && best > 0.751*lbound+d/2 {
+				t.Fatalf("trial %d: x=%d best=%v bound=%v d=%v", trial, x, best, lbound, d)
+			}
+		}
+	}
+}
+
+func TestLandmarkCountLogarithmic(t *testing.T) {
+	// |L| = O(min(t, log Δ)).
+	n := 4096
+	pos := make([]float64, n)
+	for i := 1; i < n; i++ {
+		pos[i] = float64(i)
+	}
+	lm := Landmarks(pos, n/2, 8, float64(n))
+	if len(lm) > 4*(12+11) {
+		t.Fatalf("landmark set too big: %d", len(lm))
+	}
+}
+
+func TestGreedyRouteDelivers(t *testing.T) {
+	tree := decomposeGrid(t, 10, graph.UnitWeights(), 4)
+	rng := rand.New(rand.NewSource(5))
+	a, err := Augment(tree, ModelPathSeparator, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tree.G
+	for trial := 0; trial < 30; trial++ {
+		s, tgt := rng.Intn(g.N()), rng.Intn(g.N())
+		distT := shortest.Dijkstra(g, tgt).Dist
+		hops, ok := GreedyRoute(a, s, tgt, distT, 10*g.N())
+		if !ok {
+			t.Fatalf("trial %d: undelivered from %d to %d", trial, s, tgt)
+		}
+		if hops > g.N() {
+			t.Fatalf("trial %d: %d hops", trial, hops)
+		}
+	}
+}
+
+func TestGreedyNoLinksStillDelivers(t *testing.T) {
+	// Pure greedy on the base graph follows shortest paths.
+	tree := decomposeGrid(t, 6, graph.UnitWeights(), 6)
+	rng := rand.New(rand.NewSource(7))
+	a, _ := Augment(tree, ModelNone, rng)
+	distT := shortest.Dijkstra(tree.G, 35).Dist
+	hops, ok := GreedyRoute(a, 0, 35, distT, 1000)
+	if !ok || hops != 10 {
+		t.Fatalf("hops = %d ok=%v, want 10 (Manhattan)", hops, ok)
+	}
+}
+
+func TestExperimentStats(t *testing.T) {
+	tree := decomposeGrid(t, 8, graph.UnitWeights(), 8)
+	rng := rand.New(rand.NewSource(9))
+	a, _ := Augment(tree, ModelPathSeparator, rng)
+	st := Experiment(a, 25, rng, nil)
+	if st.Trials != 25 || st.Delivered != 25 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.MeanHops <= 0 || st.MaxHops < int(st.MeanHops) {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestSeparatorBeatsNoLinksOnLargeGrid(t *testing.T) {
+	// On a 24x24 grid the separator augmentation should cut mean greedy
+	// hops well below the plain-grid Manhattan average (~side*2/3 = 16).
+	tree := decomposeGrid(t, 24, graph.UnitWeights(), 10)
+	rng := rand.New(rand.NewSource(11))
+	aSep, err := Augment(tree, ModelPathSeparator, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aNone, _ := Augment(tree, ModelNone, rng)
+	sSep := Experiment(aSep, 60, rand.New(rand.NewSource(12)), nil)
+	sNone := Experiment(aNone, 60, rand.New(rand.NewSource(12)), nil)
+	if sSep.MeanHops >= sNone.MeanHops {
+		t.Fatalf("separator links did not help: %v vs %v", sSep.MeanHops, sNone.MeanHops)
+	}
+}
+
+func TestAugmentKleinbergGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	r := embed.Grid(8, 8, graph.UnitWeights(), rng)
+	a := AugmentKleinbergGrid(r.G, 8, 8, rng)
+	for v, l := range a.Long {
+		if l < 0 || l >= r.G.N() || l == v {
+			t.Fatalf("vertex %d contact %d", v, l)
+		}
+	}
+	st := Experiment(a, 20, rng, nil)
+	if st.Delivered != 20 {
+		t.Fatalf("kleinberg delivery: %+v", st)
+	}
+}
+
+func TestExperimentRedraw(t *testing.T) {
+	tree := decomposeGrid(t, 8, graph.UnitWeights(), 30)
+	rng := rand.New(rand.NewSource(31))
+	st, err := ExperimentRedraw(tree, ModelPathSeparator, 15, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Delivered != 15 {
+		t.Fatalf("stats: %+v", st)
+	}
+}

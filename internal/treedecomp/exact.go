@@ -1,0 +1,87 @@
+package treedecomp
+
+import (
+	"fmt"
+	"math/bits"
+
+	"pathsep/internal/graph"
+)
+
+// ExactTreewidth computes the exact treewidth of g by dynamic programming
+// over subsets of the elimination game (Bodlaender–Fomin–Koster–Kratsch–
+// Thilikos style): f(S) is the best possible maximum elimination degree
+// over orderings that eliminate exactly the set S first, where the cost of
+// eliminating v after S is the number of vertices outside S∪{v} reachable
+// from v through S. Exponential: intended for n <= ~16 (tests and
+// heuristic calibration).
+func ExactTreewidth(g *graph.Graph) (int, error) {
+	n := g.N()
+	if n == 0 {
+		return -1, nil
+	}
+	if n > 20 {
+		return 0, fmt.Errorf("treedecomp: exact treewidth limited to 20 vertices, got %d", n)
+	}
+	if g.M() == 0 {
+		return 0, nil
+	}
+	// Adjacency bitmasks.
+	adj := make([]uint32, n)
+	g.Edges(func(u, v int, _ float64) {
+		adj[u] |= 1 << v
+		adj[v] |= 1 << u
+	})
+	full := uint32(1)<<n - 1
+
+	// cost(S, v): neighbors of v outside S∪{v}, where "neighbors" includes
+	// vertices reachable from v through S (the fill-in effect).
+	cost := func(S uint32, v int) int {
+		// BFS from v through S.
+		seen := uint32(1) << v
+		frontier := adj[v]
+		reach := uint32(0)
+		for frontier != 0 {
+			next := uint32(0)
+			for f := frontier &^ seen; f != 0; {
+				u := bits.TrailingZeros32(f)
+				f &= f - 1
+				seen |= 1 << u
+				if S&(1<<u) != 0 {
+					next |= adj[u]
+				} else {
+					reach |= 1 << u
+				}
+			}
+			frontier = next
+		}
+		return bits.OnesCount32(reach)
+	}
+
+	const inf = 1 << 30
+	f := make([]int32, 1<<n)
+	for i := range f {
+		f[i] = inf
+	}
+	f[0] = 0
+	// Iterate subsets in increasing popcount order implicitly: any order
+	// where S∖{v} < S numerically works since removing a bit decreases
+	// the value.
+	for S := uint32(1); S <= full; S++ {
+		best := int32(inf)
+		for T := S; T != 0; {
+			v := bits.TrailingZeros32(T)
+			T &= T - 1
+			prev := S &^ (1 << v)
+			c := int32(cost(prev, v))
+			m := f[prev]
+			if c > m {
+				m = c
+			}
+			if m < best {
+				best = m
+			}
+		}
+		f[S] = best
+	}
+	return int(f[full]), nil
+}

@@ -1,0 +1,71 @@
+package treedecomp
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathsep/internal/graph"
+)
+
+func TestExactTreewidthKnownValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"empty-ish", graph.New(3), 0},
+		{"edge", graph.Path(2, graph.UnitWeights(), rng), 1},
+		{"path", graph.Path(8, graph.UnitWeights(), rng), 1},
+		{"tree", graph.RandomTree(10, graph.UnitWeights(), rng), 1},
+		{"cycle", graph.Cycle(9, graph.UnitWeights(), rng), 2},
+		{"K4", graph.Complete(4, graph.UnitWeights(), rng), 3},
+		{"K6", graph.Complete(6, graph.UnitWeights(), rng), 5},
+		{"K23", graph.CompleteBipartite(2, 3, graph.UnitWeights(), rng), 2},
+		{"K33", graph.CompleteBipartite(3, 3, graph.UnitWeights(), rng), 3},
+		{"grid3x3", graph.Mesh3D(3, 3, 1, graph.UnitWeights(), rng), 3},
+		{"grid4x4", graph.Mesh3D(4, 4, 1, graph.UnitWeights(), rng), 4},
+		{"2tree", graph.KTree(12, 2, graph.UnitWeights(), rng), 2},
+		{"3tree", graph.KTree(12, 3, graph.UnitWeights(), rng), 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ExactTreewidth(tc.g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Fatalf("treewidth = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestExactTreewidthRejectsLarge(t *testing.T) {
+	g := graph.New(25)
+	if _, err := ExactTreewidth(g); err == nil {
+		t.Fatal("large graph accepted")
+	}
+}
+
+func TestHeuristicsNeverBeatExact(t *testing.T) {
+	// Calibration: heuristic width >= exact width, always.
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(5)
+		g := graph.ConnectedGNM(n, n+rng.Intn(2*n), graph.UnitWeights(), rng)
+		exact, err := ExactTreewidth(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range []Heuristic{MinDegree, MinFill} {
+			if w := Build(g, h).Width(); w < exact {
+				t.Fatalf("seed %d heuristic %d: width %d below exact %d", seed, h, w, exact)
+			}
+		}
+		// Min-fill on tiny graphs is usually exact; tolerate +2.
+		if w := Build(g, MinFill).Width(); w > exact+2 {
+			t.Errorf("seed %d: min-fill %d far above exact %d", seed, w, exact)
+		}
+	}
+}

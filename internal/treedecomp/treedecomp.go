@@ -1,0 +1,352 @@
+// Package treedecomp computes tree decompositions of graphs via
+// elimination-ordering heuristics (min-degree, min-fill), validates them,
+// and finds center bags (Lemma 1 of the paper): a bag whose removal leaves
+// connected components of at most half the vertices. Center bags are the
+// engine of the strong (w+1)-path separator for treewidth-w graphs
+// (Theorem 7).
+package treedecomp
+
+import (
+	"fmt"
+	"sort"
+
+	"pathsep/internal/graph"
+	"pathsep/internal/pqueue"
+)
+
+// Decomposition is a tree decomposition: Bags[i] is a vertex set; Tree is
+// the adjacency list of the decomposition tree over bag indices.
+type Decomposition struct {
+	Bags [][]int
+	Tree [][]int
+}
+
+// NumBags returns the number of bags.
+func (d *Decomposition) NumBags() int { return len(d.Bags) }
+
+// Width returns the width: max bag size minus one.
+func (d *Decomposition) Width() int {
+	w := 0
+	for _, b := range d.Bags {
+		if len(b) > w {
+			w = len(b)
+		}
+	}
+	return w - 1
+}
+
+// Heuristic selects the elimination-ordering rule.
+type Heuristic int
+
+const (
+	// MinDegree eliminates a vertex of minimum current degree at each step.
+	// Fast; good widths on sparse graphs.
+	MinDegree Heuristic = iota
+	// MinFill eliminates the vertex whose elimination adds the fewest fill
+	// edges. Slower; usually tighter widths.
+	MinFill
+)
+
+// Build computes a tree decomposition of g with the given heuristic, using
+// the standard elimination-game construction: the bag of an eliminated
+// vertex is the vertex plus its current neighborhood, attached to the bag
+// of its earliest-eliminated neighbor.
+func Build(g *graph.Graph, h Heuristic) *Decomposition {
+	n := g.N()
+	if n == 0 {
+		return &Decomposition{}
+	}
+	// Working adjacency as sets.
+	adj := make([]map[int]bool, n)
+	for v := 0; v < n; v++ {
+		adj[v] = make(map[int]bool, g.Degree(v))
+		for _, hh := range g.Neighbors(v) {
+			adj[v][hh.To] = true
+		}
+	}
+	eliminated := make([]bool, n)
+	elimPos := make([]int, n)
+	bagOf := make([]int, n) // vertex -> its bag index
+	d := &Decomposition{}
+
+	// Min-degree selection via an indexed heap keyed by current degree;
+	// keys are refreshed whenever a neighborhood changes.
+	degHeap := pqueue.New(n)
+	for v := 0; v < n; v++ {
+		degHeap.Push(v, float64(len(adj[v])))
+	}
+	pickMinDegree := func() int {
+		for degHeap.Len() > 0 {
+			v, key := degHeap.Pop()
+			if eliminated[v] {
+				continue
+			}
+			if int(key) != len(adj[v]) {
+				degHeap.Push(v, float64(len(adj[v])))
+				continue
+			}
+			return v
+		}
+		return -1
+	}
+	fillCount := func(v int) int {
+		nbrs := make([]int, 0, len(adj[v]))
+		for u := range adj[v] {
+			nbrs = append(nbrs, u)
+		}
+		fill := 0
+		for i := 0; i < len(nbrs); i++ {
+			for j := i + 1; j < len(nbrs); j++ {
+				if !adj[nbrs[i]][nbrs[j]] {
+					fill++
+				}
+			}
+		}
+		return fill
+	}
+	pickMinFill := func() int {
+		best, bestFill := -1, 1<<62
+		for v := 0; v < n; v++ {
+			if eliminated[v] {
+				continue
+			}
+			f := fillCount(v)
+			if f < bestFill {
+				best, bestFill = v, f
+				if f == 0 {
+					break
+				}
+			}
+		}
+		return best
+	}
+
+	order := make([]int, 0, n)
+	for step := 0; step < n; step++ {
+		var v int
+		if h == MinFill {
+			v = pickMinFill()
+		} else {
+			v = pickMinDegree()
+		}
+		// Bag: v + current neighborhood.
+		bag := make([]int, 0, len(adj[v])+1)
+		bag = append(bag, v)
+		for u := range adj[v] {
+			bag = append(bag, u)
+		}
+		sort.Ints(bag[1:])
+		bagIdx := len(d.Bags)
+		d.Bags = append(d.Bags, bag)
+		d.Tree = append(d.Tree, nil)
+		bagOf[v] = bagIdx
+		eliminated[v] = true
+		elimPos[v] = step
+		order = append(order, v)
+		// Fill in the clique among neighbors and remove v.
+		nbrs := bag[1:]
+		for _, u := range nbrs {
+			delete(adj[u], v)
+		}
+		for i := 0; i < len(nbrs); i++ {
+			for j := i + 1; j < len(nbrs); j++ {
+				adj[nbrs[i]][nbrs[j]] = true
+				adj[nbrs[j]][nbrs[i]] = true
+			}
+		}
+		adj[v] = nil
+		for _, u := range nbrs {
+			degHeap.Push(u, float64(len(adj[u])))
+		}
+	}
+	// Attach each bag to the bag of its earliest-eliminated strict
+	// neighbor (neighbors in the bag are eliminated after v by
+	// construction; attach to the one eliminated first among them).
+	for idx, bag := range d.Bags {
+		v := bag[0]
+		nbrs := bag[1:]
+		if len(nbrs) == 0 {
+			// Last vertex of a component: attach to any later bag to keep
+			// the tree connected; attach to previous bag if one exists.
+			if idx+1 < len(d.Bags) {
+				d.link(idx, idx+1)
+			}
+			continue
+		}
+		earliest := nbrs[0]
+		for _, u := range nbrs {
+			if elimPos[u] < elimPos[earliest] {
+				earliest = u
+			}
+		}
+		d.link(idx, bagOf[earliest])
+		_ = v
+	}
+	return d
+}
+
+func (d *Decomposition) link(a, b int) {
+	if a == b {
+		return
+	}
+	d.Tree[a] = append(d.Tree[a], b)
+	d.Tree[b] = append(d.Tree[b], a)
+}
+
+// Validate checks the three tree-decomposition conditions against g and
+// that Tree is actually a tree (connected, acyclic) when g is connected.
+func (d *Decomposition) Validate(g *graph.Graph) error {
+	n := g.N()
+	if n == 0 {
+		return nil
+	}
+	inBag := make([]bool, n)
+	for _, b := range d.Bags {
+		for _, v := range b {
+			if v < 0 || v >= n {
+				return fmt.Errorf("treedecomp: bag vertex %d out of range", v)
+			}
+			inBag[v] = true
+		}
+	}
+	for v := 0; v < n; v++ {
+		if !inBag[v] {
+			return fmt.Errorf("treedecomp: vertex %d in no bag", v)
+		}
+	}
+	// Edge coverage.
+	var bad error
+	g.Edges(func(u, v int, _ float64) {
+		if bad != nil {
+			return
+		}
+		for _, b := range d.Bags {
+			hasU, hasV := false, false
+			for _, x := range b {
+				if x == u {
+					hasU = true
+				}
+				if x == v {
+					hasV = true
+				}
+			}
+			if hasU && hasV {
+				return
+			}
+		}
+		bad = fmt.Errorf("treedecomp: edge {%d,%d} in no bag", u, v)
+	})
+	if bad != nil {
+		return bad
+	}
+	// Connected-subtree condition: the bags containing each vertex induce a
+	// connected subgraph of Tree.
+	for v := 0; v < n; v++ {
+		var with []int
+		has := make(map[int]bool)
+		for i, b := range d.Bags {
+			for _, x := range b {
+				if x == v {
+					with = append(with, i)
+					has[i] = true
+					break
+				}
+			}
+		}
+		if len(with) <= 1 {
+			continue
+		}
+		// BFS within `has`.
+		seen := map[int]bool{with[0]: true}
+		queue := []int{with[0]}
+		for len(queue) > 0 {
+			b := queue[0]
+			queue = queue[1:]
+			for _, nb := range d.Tree[b] {
+				if has[nb] && !seen[nb] {
+					seen[nb] = true
+					queue = append(queue, nb)
+				}
+			}
+		}
+		if len(seen) != len(with) {
+			return fmt.Errorf("treedecomp: bags of vertex %d not connected in tree", v)
+		}
+	}
+	// Tree-ness: edges == bags-1 per decomposition-tree component, and the
+	// whole structure connected when g is.
+	edges := 0
+	for _, nbrs := range d.Tree {
+		edges += len(nbrs)
+	}
+	edges /= 2
+	if graph.IsConnected(g) && len(d.Bags) > 0 {
+		if edges != len(d.Bags)-1 {
+			return fmt.Errorf("treedecomp: tree has %d edges for %d bags", edges, len(d.Bags))
+		}
+	}
+	return nil
+}
+
+// CenterBag returns the index of a bag C such that every connected
+// component of g minus C has at most n/2 vertices (Lemma 1 of the paper).
+// It walks from an arbitrary bag toward the large component until the
+// halving condition holds.
+func (d *Decomposition) CenterBag(g *graph.Graph) int {
+	n := g.N()
+	if len(d.Bags) == 0 {
+		return -1
+	}
+	cur := 0
+	visitedBags := make([]bool, len(d.Bags))
+	for iter := 0; iter <= len(d.Bags); iter++ {
+		visitedBags[cur] = true
+		comps := graph.ComponentsAfterRemoval(g, d.Bags[cur])
+		if len(comps) == 0 || len(comps[0]) <= n/2 {
+			return cur
+		}
+		// Move toward the neighbor bag sharing most with the big component.
+		big := make(map[int]bool, len(comps[0]))
+		for _, v := range comps[0] {
+			big[v] = true
+		}
+		next := -1
+		bestOverlap := -1
+		for _, nb := range d.Tree[cur] {
+			if visitedBags[nb] {
+				continue
+			}
+			overlap := 0
+			for _, v := range d.Bags[nb] {
+				if big[v] {
+					overlap++
+				}
+			}
+			if overlap > bestOverlap {
+				bestOverlap = overlap
+				next = nb
+			}
+		}
+		if next < 0 {
+			// No unvisited neighbor: fall back to exhaustive search.
+			break
+		}
+		cur = next
+	}
+	// Exhaustive fallback (correct albeit slow; Lemma 1 guarantees success).
+	bestBag, bestSize := 0, n+1
+	for i := range d.Bags {
+		comps := graph.ComponentsAfterRemoval(g, d.Bags[i])
+		size := 0
+		if len(comps) > 0 {
+			size = len(comps[0])
+		}
+		if size < bestSize {
+			bestBag, bestSize = i, size
+		}
+		if size <= n/2 {
+			return i
+		}
+	}
+	return bestBag
+}

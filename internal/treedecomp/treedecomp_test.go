@@ -1,0 +1,149 @@
+package treedecomp
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathsep/internal/graph"
+)
+
+func TestBuildValidOnRandomGraphs(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.ConnectedGNM(30, 70, graph.UnitWeights(), rng)
+		for _, h := range []Heuristic{MinDegree, MinFill} {
+			d := Build(g, h)
+			if err := d.Validate(g); err != nil {
+				t.Fatalf("seed %d heuristic %d: %v", seed, h, err)
+			}
+		}
+	}
+}
+
+func TestWidthOnKnownGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Tree: width 1.
+	tree := graph.RandomTree(50, graph.UnitWeights(), rng)
+	if w := Build(tree, MinDegree).Width(); w != 1 {
+		t.Errorf("tree width = %d, want 1", w)
+	}
+	// Cycle: width 2.
+	cyc := graph.Cycle(20, graph.UnitWeights(), rng)
+	if w := Build(cyc, MinDegree).Width(); w != 2 {
+		t.Errorf("cycle width = %d, want 2", w)
+	}
+	// Complete graph K6: width 5.
+	k6 := graph.Complete(6, graph.UnitWeights(), rng)
+	if w := Build(k6, MinDegree).Width(); w != 5 {
+		t.Errorf("K6 width = %d, want 5", w)
+	}
+}
+
+func TestWidthOnKTrees(t *testing.T) {
+	// Min-degree recovers the exact width of k-trees.
+	for _, k := range []int{1, 2, 3, 5} {
+		rng := rand.New(rand.NewSource(int64(k)))
+		g := graph.KTree(60, k, graph.UnitWeights(), rng)
+		d := Build(g, MinDegree)
+		if err := d.Validate(g); err != nil {
+			t.Fatal(err)
+		}
+		if w := d.Width(); w != k {
+			t.Errorf("k=%d: width = %d", k, w)
+		}
+	}
+}
+
+func TestMinFillNotWorseOnSmallGraphs(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.ConnectedGNM(20, 40, graph.UnitWeights(), rng)
+		wd := Build(g, MinDegree).Width()
+		wf := Build(g, MinFill).Width()
+		// Heuristics differ; both must at least be valid. Record a soft
+		// expectation: min-fill within 2x of min-degree.
+		if wf > 2*wd+2 {
+			t.Errorf("seed %d: minfill %d much worse than mindeg %d", seed, wf, wd)
+		}
+	}
+}
+
+func TestCenterBagHalves(t *testing.T) {
+	cases := []*graph.Graph{
+		graph.Path(31, graph.UnitWeights(), rand.New(rand.NewSource(1))),
+		graph.RandomTree(64, graph.UnitWeights(), rand.New(rand.NewSource(2))),
+		graph.KTree(50, 3, graph.UnitWeights(), rand.New(rand.NewSource(3))),
+		graph.Cycle(40, graph.UnitWeights(), rand.New(rand.NewSource(4))),
+		graph.ConnectedGNM(40, 90, graph.UnitWeights(), rand.New(rand.NewSource(5))),
+	}
+	for i, g := range cases {
+		d := Build(g, MinDegree)
+		c := d.CenterBag(g)
+		if c < 0 {
+			t.Fatalf("case %d: no center bag", i)
+		}
+		comps := graph.ComponentsAfterRemoval(g, d.Bags[c])
+		if len(comps) > 0 && len(comps[0]) > g.N()/2 {
+			t.Errorf("case %d: component %d > n/2 = %d", i, len(comps[0]), g.N()/2)
+		}
+	}
+}
+
+func TestValidateCatchesMissingVertex(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := graph.Path(5, graph.UnitWeights(), rng)
+	d := Build(g, MinDegree)
+	// Corrupt: drop vertex 0 from all bags.
+	for i, b := range d.Bags {
+		out := b[:0]
+		for _, v := range b {
+			if v != 0 {
+				out = append(out, v)
+			}
+		}
+		d.Bags[i] = out
+	}
+	if err := d.Validate(g); err == nil {
+		t.Fatal("validation passed with vertex missing")
+	}
+}
+
+func TestValidateCatchesBrokenSubtree(t *testing.T) {
+	// Hand-built invalid decomposition: vertex 0 in two disconnected bags.
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	g := b.Build()
+	d := &Decomposition{
+		Bags: [][]int{{0, 1}, {1, 2}, {0, 2}},
+		Tree: [][]int{{1}, {0, 2}, {1}},
+	}
+	if err := d.Validate(g); err == nil {
+		t.Fatal("vertex 0 appears in bags 0 and 2 which are not adjacent")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := graph.New(0)
+	d := Build(g, MinDegree)
+	if d.NumBags() != 0 {
+		t.Fatal("empty graph should have no bags")
+	}
+	if err := d.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisconnectedGraph(t *testing.T) {
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(2, 3, 1)
+	b.AddEdge(4, 5, 1)
+	g := b.Build()
+	d := Build(g, MinDegree)
+	// All conditions except global tree-ness apply; Validate handles
+	// disconnected graphs by skipping the edge-count check.
+	if err := d.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}

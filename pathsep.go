@@ -1,0 +1,317 @@
+// Package pathsep is a Go implementation of "Object Location Using Path
+// Separators" (Abraham & Gavoille, PODC 2006): k-path separators
+// (Definition 1) for trees, bounded-treewidth, planar-embedded and
+// arbitrary weighted graphs, and the object-location structures built on
+// them — (1+ε)-approximate distance labels and oracles (Theorem 2),
+// labeled compact routing (abstract item 3), small-world augmentation
+// with poly-logarithmic greedy routing (Theorem 3), and (k,α)-doubling
+// separators for 3-D meshes (Section 5.3, Theorem 8).
+//
+// Quick start:
+//
+//	b := pathsep.NewBuilder(4)
+//	b.AddEdge(0, 1, 1.0)
+//	b.AddEdge(1, 2, 2.0)
+//	b.AddEdge(2, 3, 1.5)
+//	g := b.Build()
+//	dec, _ := pathsep.Decompose(g, pathsep.Options{})
+//	orc, _ := pathsep.NewOracle(dec, pathsep.OracleOptions{Epsilon: 0.1})
+//	dist := orc.Query(0, 3) // within (1+0.1) of the true distance
+//
+// The heavy lifting lives in the internal packages; this package is the
+// stable facade. Internal subsystem layout:
+//
+//	internal/graph      graphs, generators, components
+//	internal/embed      planar embeddings (rotation systems)
+//	internal/core       k-path separators + decomposition tree
+//	internal/oracle     Theorem 2 distance labels and oracle
+//	internal/routing    compact routing scheme
+//	internal/smallworld Section 4 augmentation + greedy routing
+//	internal/doubling   Section 5.3 doubling separators
+//	internal/labeling   exact tree distance labels (centroid decomposition)
+//	internal/baseline   exact / ALT / Thorup–Zwick comparison oracles
+//	internal/hardness   Section 5 lower-bound instances and verifiers
+package pathsep
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pathsep/internal/core"
+	"pathsep/internal/doubling"
+	"pathsep/internal/embed"
+	"pathsep/internal/graph"
+	"pathsep/internal/labeling"
+	"pathsep/internal/oracle"
+	"pathsep/internal/routing"
+	"pathsep/internal/smallworld"
+)
+
+// Graph is a weighted undirected graph; build one with NewBuilder or a
+// generator.
+type Graph = graph.Graph
+
+// Builder accumulates edges for a Graph.
+type Builder = graph.Builder
+
+// WeightFn assigns generator edge weights.
+type WeightFn = graph.WeightFn
+
+// Embedding is a planar combinatorial embedding (rotation system).
+type Embedding = embed.Rotation
+
+// Decomposition is the recursive k-path separator decomposition tree.
+type Decomposition = core.Tree
+
+// Separator is a k-path separator (Definition 1 of the paper).
+type Separator = core.Separator
+
+// Oracle is the Theorem 2 (1+ε)-approximate distance oracle.
+type Oracle = oracle.Oracle
+
+// Label is a vertex's distance label (the distributed form of the oracle).
+type Label = oracle.Label
+
+// Router is the compact routing scheme.
+type Router = routing.Router
+
+// Augmented is a graph plus one long-range contact per vertex (Section 4).
+type Augmented = smallworld.Augmented
+
+// NewBuilder returns a Builder pre-sized for n vertices.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// Strategy selects how separators are computed per decomposition node.
+type Strategy int
+
+const (
+	// StrategyAuto dispatches per node: trees use the centroid, embedded
+	// graphs the planar fundamental-cycle strategy, narrow graphs the
+	// center bag, everything else the greedy shortest-path-tree strategy.
+	StrategyAuto Strategy = iota
+	// StrategyTreeCentroid requires a tree (1-path separators).
+	StrategyTreeCentroid
+	// StrategyCenterBag uses the center bag of a heuristic tree
+	// decomposition (strong (width+1)-path separators, Theorem 7).
+	StrategyCenterBag
+	// StrategyPlanar uses Lipton–Tarjan fundamental cycles of a
+	// shortest-path tree; requires an Embedding (Theorem 6(1)).
+	StrategyPlanar
+	// StrategyGreedy removes shortest-path-tree centroid paths from the
+	// largest remaining component; works on any graph, k is measured.
+	StrategyGreedy
+)
+
+// Options configures Decompose.
+type Options struct {
+	// Strategy defaults to StrategyAuto.
+	Strategy Strategy
+	// Embedding optionally provides a planar embedding of the graph.
+	Embedding *Embedding
+	// Certify re-verifies every separator against Definition 1 (slow).
+	Certify bool
+}
+
+func (o Options) strategy() (core.Strategy, error) {
+	switch o.Strategy {
+	case StrategyAuto:
+		return core.Auto{}, nil
+	case StrategyTreeCentroid:
+		return core.TreeCentroid{}, nil
+	case StrategyCenterBag:
+		return core.CenterBag{}, nil
+	case StrategyPlanar:
+		return core.Planar{}, nil
+	case StrategyGreedy:
+		return core.Greedy{}, nil
+	default:
+		return nil, fmt.Errorf("pathsep: unknown strategy %d", int(o.Strategy))
+	}
+}
+
+// Decompose builds the k-path separator decomposition tree of g.
+func Decompose(g *Graph, opt Options) (*Decomposition, error) {
+	strat, err := opt.strategy()
+	if err != nil {
+		return nil, err
+	}
+	return core.Decompose(g, core.Options{
+		Strategy: strat,
+		Rot:      opt.Embedding,
+		Certify:  opt.Certify,
+	})
+}
+
+// OracleMode selects the portal construction of the distance oracle.
+type OracleMode int
+
+const (
+	// OracleExactCover uses per-vertex ε-covers with exact residual
+	// distances: the Theorem 2 (1+ε) guarantee holds. Construction is
+	// quadratic-ish; best below ~10k vertices.
+	OracleExactCover OracleMode = iota
+	// OraclePortals places a fixed number of evenly spaced portals per
+	// separator path: scalable, stretch measured (≤3 guaranteed by the
+	// closest-attachment entries).
+	OraclePortals
+)
+
+// OracleOptions configures NewOracle.
+type OracleOptions struct {
+	// Epsilon is the ε of (1+ε); must be positive.
+	Epsilon float64
+	// Mode defaults to OracleExactCover.
+	Mode OracleMode
+	// PortalsPerPath bounds portals per path in OraclePortals mode
+	// (0 = ceil(4/ε)).
+	PortalsPerPath int
+}
+
+// NewOracle builds the Theorem 2 distance oracle over a decomposition.
+func NewOracle(d *Decomposition, opt OracleOptions) (*Oracle, error) {
+	mode := oracle.CoverExact
+	if opt.Mode == OraclePortals {
+		mode = oracle.CoverPortal
+	}
+	return oracle.Build(d, oracle.Options{
+		Epsilon:        opt.Epsilon,
+		Mode:           mode,
+		PortalsPerPath: opt.PortalsPerPath,
+	})
+}
+
+// QueryLabels answers an approximate distance query from two labels alone
+// (the distributed distance-labeling scheme of Theorem 2).
+func QueryLabels(a, b *Label) float64 { return oracle.QueryLabels(a, b) }
+
+// RouterOptions configures NewRouter.
+type RouterOptions struct {
+	// Epsilon sizes the portal grid (default 0.25).
+	Epsilon float64
+	// PortalsPerPath overrides the portal count.
+	PortalsPerPath int
+}
+
+// NewRouter builds the compact routing scheme over a decomposition.
+func NewRouter(d *Decomposition, opt RouterOptions) (*Router, error) {
+	return routing.Build(d, routing.Options{
+		Epsilon:        opt.Epsilon,
+		PortalsPerPath: opt.PortalsPerPath,
+	})
+}
+
+// SmallWorldModel selects the long-range contact distribution.
+type SmallWorldModel = smallworld.Model
+
+const (
+	// SmallWorldPathSeparator is the paper's Theorem 3 distribution.
+	SmallWorldPathSeparator = smallworld.ModelPathSeparator
+	// SmallWorldClosestSeparator is the Note 2 variant.
+	SmallWorldClosestSeparator = smallworld.ModelClosestSeparator
+	// SmallWorldUniform links to uniform random vertices (baseline).
+	SmallWorldUniform = smallworld.ModelUniform
+	// SmallWorldNone adds no long links (baseline).
+	SmallWorldNone = smallworld.ModelNone
+)
+
+// Augment draws one long-range contact per vertex from the model's
+// distribution over the decomposition (Definition 3/4 of the paper).
+func Augment(d *Decomposition, model SmallWorldModel, rng *rand.Rand) (*Augmented, error) {
+	return smallworld.Augment(d, model, rng)
+}
+
+// GreedyRouteStats runs greedy-routing trials over an augmented graph and
+// reports delivery and hop statistics (Theorem 3's measured quantity).
+func GreedyRouteStats(a *Augmented, trials int, rng *rand.Rand) smallworld.Stats {
+	return smallworld.Experiment(a, trials, rng, nil)
+}
+
+// Generators re-exported for convenience.
+
+// NewGrid returns the rows x cols grid with its planar embedding.
+func NewGrid(rows, cols int, w WeightFn, rng *rand.Rand) *Embedding {
+	return embed.Grid(rows, cols, w, rng)
+}
+
+// NewApollonian returns a random stacked triangulation with embedding.
+func NewApollonian(n int, w WeightFn, rng *rand.Rand) *Embedding {
+	return embed.Apollonian(n, w, rng)
+}
+
+// NewRandomTree returns a uniform random recursive tree.
+func NewRandomTree(n int, w WeightFn, rng *rand.Rand) *Graph {
+	return graph.RandomTree(n, w, rng)
+}
+
+// NewKTree returns a random k-tree (treewidth exactly k).
+func NewKTree(n, k int, w WeightFn, rng *rand.Rand) *Graph {
+	return graph.KTree(n, k, w, rng)
+}
+
+// NewMesh3D returns the a x b x c mesh (the Section 5.3 example).
+func NewMesh3D(a, b, c int, w WeightFn, rng *rand.Rand) *Graph {
+	return graph.Mesh3D(a, b, c, w, rng)
+}
+
+// UnitWeights assigns weight 1 to every edge.
+func UnitWeights() WeightFn { return graph.UnitWeights() }
+
+// UniformWeights assigns independent uniform weights in [lo, hi).
+func UniformWeights(lo, hi float64) WeightFn { return graph.UniformWeights(lo, hi) }
+
+// CertifySeparator verifies a separator against Definition 1.
+func CertifySeparator(g *Graph, s *Separator) error { return core.Certify(g, s) }
+
+// Planarize computes a planar embedding of g with the DMP algorithm, or
+// an error wrapping embed.ErrNonPlanar. Decompose calls this
+// automatically for planar-looking graphs; use it directly to pre-compute
+// and reuse embeddings.
+func Planarize(g *Graph) (*Embedding, error) { return embed.Planarize(g) }
+
+// WeightedSeparator computes a phased path separator halving the total
+// VERTEX WEIGHT instead of the vertex count (the strengthening noted
+// after Theorem 1). weights may be nil for the unweighted behaviour.
+func WeightedSeparator(g *Graph, weights []float64) (*Separator, error) {
+	return core.WeightedGreedy(g, weights, 0)
+}
+
+// CertifyWeightedSeparator verifies a separator against the
+// vertex-weighted Definition 1 variant.
+func CertifyWeightedSeparator(g *Graph, weights []float64, s *Separator) error {
+	return core.CertifyWeighted(g, weights, s)
+}
+
+// MeshDecomposition is the Section 5.3 doubling-separator decomposition
+// of a 3-D mesh.
+type MeshDecomposition = doubling.Tree
+
+// MeshOracle is the Theorem 8 distance oracle over a MeshDecomposition.
+type MeshOracle = doubling.Oracle
+
+// DecomposeMesh3D builds the recursive middle-plane decomposition of the
+// a x b x c unit mesh — the paper's example of a graph with no bounded
+// k-path separator that is nonetheless (1,2)-doubling separable.
+func DecomposeMesh3D(a, b, c int) (*MeshDecomposition, error) {
+	return doubling.DecomposeMesh3D(a, b, c)
+}
+
+// NewMeshOracle builds the Theorem 8 (1+ε)-approximate distance oracle.
+func NewMeshOracle(d *MeshDecomposition, eps float64) (*MeshOracle, error) {
+	return doubling.BuildOracle(d, eps)
+}
+
+// AugmentMesh draws Note 3 long-range contacts (ring landmarks on the
+// separator planes) for greedy routing on the mesh.
+func AugmentMesh(d *MeshDecomposition, rng *rand.Rand) *Augmented {
+	return doubling.Augment(d, rng)
+}
+
+// TreeLabeling is an EXACT distance labeling for weighted trees
+// (centroid decomposition; O(log n) entries per label): the base case of
+// the paper's object-location program.
+type TreeLabeling = labeling.TreeLabeling
+
+// NewTreeLabeling builds exact distance labels for a weighted tree.
+func NewTreeLabeling(g *Graph) (*TreeLabeling, error) {
+	return labeling.BuildTree(g)
+}
