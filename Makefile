@@ -1,0 +1,31 @@
+# Tier-1+ verification for the pathsep repo.
+#
+#   make check      vet + build + race tests + obs-overhead benchmark
+#   make test       plain test run (the tier-1 gate)
+#   make bench-obs  regenerate BENCH_obs.json (metrics on vs. off numbers)
+
+GO ?= go
+
+.PHONY: check test vet build race bench-overhead bench-obs
+
+check: vet build race bench-overhead
+
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+race:
+	$(GO) test -race ./...
+
+# The disabled-path gate: must report 0 allocs/op on QueryDisabled.
+bench-overhead:
+	$(GO) test -run '^$$' -bench BenchmarkObsOverhead -benchtime=1s .
+
+bench-obs:
+	EMIT_BENCH_OBS=1 $(GO) test -run TestEmitBenchObs -v .

@@ -1,0 +1,145 @@
+// Observability-overhead benchmarks: the instrumentation threaded
+// through the hot paths must be free when no registry is attached.
+// BenchmarkObsOverhead/QueryDisabled is the acceptance gate: 0 allocs/op
+// and within noise of the pre-instrumentation Oracle.Query.
+//
+// TestEmitBenchObs (run with EMIT_BENCH_OBS=1) regenerates BENCH_obs.json,
+// the committed metrics-on vs. metrics-off numbers for oracle build+query.
+package pathsep_test
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"testing"
+
+	"pathsep/internal/core"
+	"pathsep/internal/embed"
+	"pathsep/internal/graph"
+	"pathsep/internal/obs"
+	"pathsep/internal/oracle"
+)
+
+func buildObsOracle(tb testing.TB, reg *obs.Registry) (*oracle.Oracle, int) {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(7))
+	r := embed.Grid(32, 32, graph.UniformWeights(1, 4), rng)
+	dec, err := core.Decompose(r.G, core.Options{Strategy: core.Auto{}, Rot: r, Metrics: reg})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	o, err := oracle.Build(dec, oracle.Options{Epsilon: 0.25, Mode: oracle.CoverPortal, Metrics: reg})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return o, r.G.N()
+}
+
+func BenchmarkObsOverhead(b *testing.B) {
+	b.Run("QueryDisabled", func(b *testing.B) {
+		o, n := buildObsOracle(b, nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			o.Query(i%n, (i*31)%n)
+		}
+	})
+	b.Run("QueryEnabled", func(b *testing.B) {
+		reg := obs.New()
+		o, n := buildObsOracle(b, reg)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			o.Query(i%n, (i*31)%n)
+		}
+	})
+}
+
+// TestQueryDisabledZeroAllocs enforces the acceptance criterion directly:
+// a query on an oracle with no registry attached must not allocate.
+func TestQueryDisabledZeroAllocs(t *testing.T) {
+	o, n := buildObsOracle(t, nil)
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		o.Query(i%n, (i*31)%n)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("Oracle.Query with metrics disabled: %v allocs/run, want 0", allocs)
+	}
+}
+
+// TestEmitBenchObs writes BENCH_obs.json when EMIT_BENCH_OBS=1. It times
+// oracle build and query with the registry attached and detached so the
+// committed file documents the measured instrumentation overhead.
+func TestEmitBenchObs(t *testing.T) {
+	if os.Getenv("EMIT_BENCH_OBS") != "1" {
+		t.Skip("set EMIT_BENCH_OBS=1 to regenerate BENCH_obs.json")
+	}
+
+	type row struct {
+		NsPerOp     float64 `json:"ns_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+		N           int     `json:"iterations"`
+	}
+	out := map[string]row{}
+
+	record := func(name string, fn func(b *testing.B)) row {
+		res := testing.Benchmark(fn)
+		r := row{
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			N:           res.N,
+		}
+		out[name] = r
+		return r
+	}
+
+	record("oracle_build_disabled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buildObsOracle(b, nil)
+		}
+	})
+	record("oracle_build_enabled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buildObsOracle(b, obs.New())
+		}
+	})
+	qd := record("oracle_query_disabled", func(b *testing.B) {
+		o, n := buildObsOracle(b, nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			o.Query(i%n, (i*31)%n)
+		}
+	})
+	record("oracle_query_enabled", func(b *testing.B) {
+		o, n := buildObsOracle(b, obs.New())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			o.Query(i%n, (i*31)%n)
+		}
+	})
+
+	if qd.AllocsPerOp != 0 {
+		t.Errorf("oracle_query_disabled allocates %d/op, want 0", qd.AllocsPerOp)
+	}
+
+	f, err := os.Create("BENCH_obs.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_obs.json: %+v", out)
+}

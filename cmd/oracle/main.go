@@ -5,6 +5,11 @@
 // Usage:
 //
 //	gengraph -family ktree -n 400 | oracle -eps 0.2 -mode exact -queries 2000
+//
+// With -metrics out.json it writes a JSON snapshot of the observability
+// registry (decomposition level timings, Dijkstra relaxation counts,
+// query latency histogram); with -pprof addr it serves net/http/pprof
+// and /debug/vars while running.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 
 	"pathsep/internal/core"
 	"pathsep/internal/graph"
+	"pathsep/internal/obs"
 	"pathsep/internal/oracle"
 	"pathsep/internal/shortest"
 )
@@ -29,7 +35,33 @@ func main() {
 	queries := flag.Int("queries", 1000, "random queries to run")
 	audit := flag.Int("audit", 200, "queries to audit against Dijkstra")
 	seed := flag.Int64("seed", 1, "random seed")
+	metricsOut := flag.String("metrics", "", "write a metrics JSON snapshot to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /debug/vars on this address")
 	flag.Parse()
+
+	var m oracle.Mode
+	switch *mode {
+	case "exact":
+		m = oracle.CoverExact
+	case "portal":
+		m = oracle.CoverPortal
+	default:
+		fmt.Fprintf(os.Stderr, "oracle: unknown -mode %q (want exact|portal)\n", *mode)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var reg *obs.Registry
+	if *metricsOut != "" || *pprofAddr != "" {
+		reg = obs.New()
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := obs.Serve(*pprofAddr, reg); err != nil {
+				fmt.Fprintf(os.Stderr, "oracle: pprof server: %v\n", err)
+			}
+		}()
+	}
 
 	var r io.Reader = os.Stdin
 	if *in != "" {
@@ -44,19 +76,15 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	m := oracle.CoverExact
-	if *mode == "portal" {
-		m = oracle.CoverPortal
-	}
 
 	start := time.Now()
-	dec, err := core.Decompose(g, core.Options{Strategy: core.Auto{}})
+	dec, err := core.Decompose(g, core.Options{Strategy: core.Auto{}, Metrics: reg})
 	if err != nil {
 		fail(err)
 	}
 	decTime := time.Since(start)
 	start = time.Now()
-	o, err := oracle.Build(dec, oracle.Options{Epsilon: *eps, Mode: m})
+	o, err := oracle.Build(dec, oracle.Options{Epsilon: *eps, Mode: m, Metrics: reg})
 	if err != nil {
 		fail(err)
 	}
@@ -96,6 +124,24 @@ func main() {
 		fmt.Printf("stretch: max=%.4f mean=%.4f over %d audited pairs (bound 1+eps=%.4f)\n",
 			worst, sum/float64(count), count, 1+*eps)
 	}
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, reg); err != nil {
+			fail(err)
+		}
+		fmt.Printf("metrics: snapshot written to %s\n", *metricsOut)
+	}
+}
+
+func writeMetrics(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fail(err error) {

@@ -5,6 +5,9 @@
 // Usage:
 //
 //	gengraph -family ktree -n 500 | pathsep -strategy auto -certify
+//
+// -trace prints the decomposition recursion as an indented tree with
+// per-node timings; -metrics out.json dumps the observability registry.
 package main
 
 import (
@@ -16,12 +19,16 @@ import (
 
 	"pathsep/internal/core"
 	"pathsep/internal/graph"
+	"pathsep/internal/obs"
 )
 
 func main() {
 	in := flag.String("in", "", "input file (default stdin)")
 	strategy := flag.String("strategy", "auto", "auto|tree|bag|greedy")
 	certify := flag.Bool("certify", false, "re-verify every separator against Definition 1")
+	traceFlag := flag.Bool("trace", false, "print the decomposition recursion as an indented tree")
+	metricsOut := flag.String("metrics", "", "write a metrics JSON snapshot to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /debug/vars on this address")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -52,8 +59,24 @@ func main() {
 		fail(fmt.Errorf("unknown strategy %q", *strategy))
 	}
 
+	var reg *obs.Registry
+	if *metricsOut != "" || *pprofAddr != "" {
+		reg = obs.New()
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := obs.Serve(*pprofAddr, reg); err != nil {
+				fmt.Fprintf(os.Stderr, "pathsep: pprof server: %v\n", err)
+			}
+		}()
+	}
+	var trace *obs.Trace
+	if *traceFlag {
+		trace = obs.NewTrace()
+	}
+
 	start := time.Now()
-	dec, err := core.Decompose(g, core.Options{Strategy: strat, Certify: *certify})
+	dec, err := core.Decompose(g, core.Options{Strategy: strat, Certify: *certify, Metrics: reg, Trace: trace})
 	if err != nil {
 		fail(err)
 	}
@@ -89,6 +112,26 @@ func main() {
 	}
 	if *certify {
 		fmt.Println("certificate: every separator verified against Definition 1")
+	}
+	if trace != nil {
+		fmt.Println("decomposition trace:")
+		if err := trace.WriteIndented(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := reg.WriteJSON(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("metrics: snapshot written to %s\n", *metricsOut)
 	}
 }
 

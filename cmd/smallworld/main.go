@@ -17,6 +17,7 @@ import (
 	"pathsep/internal/core"
 	"pathsep/internal/embed"
 	"pathsep/internal/graph"
+	"pathsep/internal/obs"
 	"pathsep/internal/smallworld"
 )
 
@@ -25,7 +26,21 @@ func main() {
 	trials := flag.Int("trials", 200, "greedy routing trials per model")
 	seed := flag.Int64("seed", 1, "random seed")
 	weighted := flag.Bool("weighted", false, "random edge weights in [1,8)")
+	metricsOut := flag.String("metrics", "", "write a metrics JSON snapshot to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /debug/vars on this address")
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metricsOut != "" || *pprofAddr != "" {
+		reg = obs.New()
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := obs.Serve(*pprofAddr, reg); err != nil {
+				fmt.Fprintf(os.Stderr, "smallworld: pprof server: %v\n", err)
+			}
+		}()
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	w := graph.UnitWeights()
@@ -33,7 +48,7 @@ func main() {
 		w = graph.UniformWeights(1, 8)
 	}
 	grid := embed.Grid(*side, *side, w, rng)
-	dec, err := core.Decompose(grid.G, core.Options{Strategy: core.Auto{}, Rot: grid})
+	dec, err := core.Decompose(grid.G, core.Options{Strategy: core.Auto{}, Rot: grid, Metrics: reg})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "smallworld: %v\n", err)
 		os.Exit(1)
@@ -44,7 +59,7 @@ func main() {
 	fmt.Println("model               meanHops  maxHops  delivered")
 
 	report := func(name string, a *smallworld.Augmented) {
-		st := smallworld.Experiment(a, *trials, rng, nil)
+		st := smallworld.ExperimentObserved(a, *trials, rng, nil, reg)
 		fmt.Printf("%-18s  %8.1f  %7d  %d/%d\n", name, st.MeanHops, st.MaxHops, st.Delivered, st.Trials)
 	}
 	for _, model := range []smallworld.Model{
@@ -61,4 +76,22 @@ func main() {
 		report(model.String(), a)
 	}
 	report("kleinberg", smallworld.AugmentKleinbergGrid(grid.G, *side, *side, rng))
+
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "smallworld: %v\n", err)
+			os.Exit(1)
+		}
+		if err := reg.WriteJSON(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "smallworld: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "smallworld: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics: snapshot written to %s\n", *metricsOut)
+	}
 }

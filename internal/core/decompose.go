@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"pathsep/internal/embed"
 	"pathsep/internal/graph"
+	"pathsep/internal/obs"
 	"pathsep/internal/treedecomp"
 )
 
@@ -27,6 +29,9 @@ type Node struct {
 	Children []int
 	// StrategyName records which strategy separated this node.
 	StrategyName string
+	// SepNanos is the wall-clock time spent computing this node's
+	// separator.
+	SepNanos int64
 }
 
 // Tree is the decomposition tree of a graph: the root is the whole graph;
@@ -77,6 +82,14 @@ type Options struct {
 	// MinComponent stops recursing into components at or below this size,
 	// separating them exhaustively vertex-by-vertex instead. 0 means 1.
 	MinComponent int
+	// Metrics, when non-nil, receives per-node and per-recursion-level
+	// timings, path counts and subgraph size histograms under "core.*",
+	// and is forwarded to strategies for their Dijkstra accounting.
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives one node per decomposition node (IDs
+	// match Tree.Nodes) with its strategy, size, k and duration — the
+	// decomposition trace tree.
+	Trace *obs.Trace
 }
 
 // Decompose builds the decomposition tree of g. If g is disconnected, the
@@ -85,6 +98,8 @@ func Decompose(g *graph.Graph, opt Options) (*Tree, error) {
 	if g.N() == 0 {
 		return nil, fmt.Errorf("core: empty graph")
 	}
+	span := opt.Metrics.StartSpan("core.decompose")
+	defer span.End()
 	strat := opt.Strategy
 	if strat == nil {
 		strat = Auto{}
@@ -117,6 +132,10 @@ func Decompose(g *graph.Graph, opt Options) (*Tree, error) {
 		// Virtual root with empty separator.
 		root := &Node{ID: 0, Parent: -1, Sub: rootSub, StrategyName: "virtual-root"}
 		t.Nodes = append(t.Nodes, root)
+		if id := opt.Trace.Add(-1, "virtual-root"); id >= 0 {
+			opt.Trace.SetAttr(id, "n", int64(g.N()))
+			opt.Trace.SetAttr(id, "m", int64(g.M()))
+		}
 		for _, comp := range graph.ConnectedComponents(g) {
 			sub := graph.Induced(g, comp)
 			var rot *embed.Rotation
@@ -150,6 +169,7 @@ func Decompose(g *graph.Graph, opt Options) (*Tree, error) {
 		j := it.sub.G
 		var sep *Separator
 		var err error
+		sepStart := time.Now()
 		if j.N() <= max(1, opt.MinComponent) {
 			// Exhaust tiny components: every vertex its own trivial path.
 			phase := Phase{}
@@ -159,12 +179,13 @@ func Decompose(g *graph.Graph, opt Options) (*Tree, error) {
 			sep = &Separator{Phases: []Phase{phase}}
 			node.StrategyName = "exhaust"
 		} else {
-			sep, err = strat.Separate(Input{G: j, Rot: it.rot})
+			sep, err = strat.Separate(Input{G: j, Rot: it.rot, Metrics: opt.Metrics})
 			if err != nil {
 				return nil, fmt.Errorf("core: node %d (n=%d, depth=%d): %w", node.ID, j.N(), it.depth, err)
 			}
 			node.StrategyName = strat.Name()
 		}
+		node.SepNanos = time.Since(sepStart).Nanoseconds()
 		if opt.Certify {
 			if err := Certify(j, sep); err != nil {
 				return nil, fmt.Errorf("core: node %d: %w", node.ID, err)
@@ -179,6 +200,24 @@ func Decompose(g *graph.Graph, opt Options) (*Tree, error) {
 		locals := sep.Vertices()
 		if len(locals) == 0 {
 			return nil, fmt.Errorf("core: node %d: separator removed nothing", node.ID)
+		}
+		if m := opt.Metrics; m != nil {
+			m.Counter("core.nodes").Inc()
+			m.Counter("core.separator_paths").Add(int64(sep.NumPaths()))
+			m.Counter("core.separator_vertices").Add(int64(len(locals)))
+			m.Counter(fmt.Sprintf("core.level.%02d.separate_ns", it.depth)).Add(node.SepNanos)
+			m.Counter(fmt.Sprintf("core.level.%02d.nodes", it.depth)).Inc()
+			m.Histogram("core.subgraph_n").Observe(float64(j.N()))
+			m.Histogram("core.separate_ns").Observe(float64(node.SepNanos))
+			m.Gauge("core.max_k").SetMax(int64(sep.NumPaths()))
+		}
+		if id := opt.Trace.Add(it.parent, node.StrategyName); id >= 0 {
+			opt.Trace.SetNanos(id, node.SepNanos)
+			opt.Trace.SetAttr(id, "n", int64(j.N()))
+			opt.Trace.SetAttr(id, "m", int64(j.M()))
+			opt.Trace.SetAttr(id, "k", int64(sep.NumPaths()))
+			opt.Trace.SetAttr(id, "phases", int64(sep.NumPhases()))
+			opt.Trace.SetAttr(id, "sepverts", int64(len(locals)))
 		}
 		for _, lv := range locals {
 			ov := it.sub.Orig[lv]
@@ -205,6 +244,10 @@ func Decompose(g *graph.Graph, opt Options) (*Tree, error) {
 		if h < 0 {
 			return nil, fmt.Errorf("core: vertex %d never separated", v)
 		}
+	}
+	if m := opt.Metrics; m != nil {
+		m.Gauge("core.depth").Set(int64(t.Depth))
+		m.Gauge("core.total_paths").Set(int64(t.TotalPaths))
 	}
 	return t, nil
 }
@@ -264,7 +307,7 @@ func (a Auto) Separate(in Input) (*Separator, error) {
 	}
 	if in.Rot == nil && in.G.N() >= 3 && in.G.N() <= planarizeLimit && in.G.M() <= 3*in.G.N()-6 {
 		if rot, err := embed.Planarize(in.G); err == nil {
-			if sep, err := (Planar{}).Separate(Input{G: in.G, Rot: rot}); err == nil {
+			if sep, err := (Planar{}).Separate(Input{G: in.G, Rot: rot, Metrics: in.Metrics}); err == nil {
 				return sep, nil
 			}
 		}

@@ -24,6 +24,7 @@ import (
 
 	"pathsep/internal/embed"
 	"pathsep/internal/graph"
+	"pathsep/internal/obs"
 	"pathsep/internal/shortest"
 )
 
@@ -93,10 +94,13 @@ func (s *Separator) MaxPathDiameter(g *graph.Graph) float64 {
 }
 
 // Input is what a Strategy consumes: a connected graph and, optionally, a
-// planar embedding of it.
+// planar embedding of it and a metrics registry.
 type Input struct {
 	G   *graph.Graph
 	Rot *embed.Rotation
+	// Metrics, when non-nil, receives the strategy's internal work
+	// accounting (Dijkstra heap and relaxation counters).
+	Metrics *obs.Registry
 }
 
 // Strategy computes a separator for a connected graph.

@@ -75,6 +75,7 @@ func (s Greedy) Separate(in Input) (*Separator, error) {
 	if maxPaths <= 0 {
 		maxPaths = 4*isqrt(n) + 16
 	}
+	col := shortest.NewCollector(in.Metrics)
 	sep := &Separator{}
 	removed := make([]int, 0, 16)
 	for len(sep.Phases) < maxPaths {
@@ -83,7 +84,7 @@ func (s Greedy) Separate(in Input) (*Separator, error) {
 			return sep, nil
 		}
 		sub := graph.Induced(g, comps[0])
-		path := centroidPath(sub)
+		path := centroidPath(sub, col)
 		lifted := make([]int, len(path))
 		for i, v := range path {
 			lifted[i] = sub.Orig[v]
@@ -96,13 +97,14 @@ func (s Greedy) Separate(in Input) (*Separator, error) {
 
 // centroidPath returns, in sub-local IDs, the shortest path from a root to
 // the centroid of the shortest-path tree of the (connected) subgraph.
-func centroidPath(sub *graph.Sub) []int {
+func centroidPath(sub *graph.Sub, col *shortest.Collector) []int {
 	j := sub.G
 	if j.N() == 1 {
 		return []int{0}
 	}
 	root := maxDegreeVertex(j)
 	t := shortest.Dijkstra(j, root)
+	col.Record(t)
 	c := sptCentroid(j.N(), t.Parent)
 	return t.PathTo(c)
 }

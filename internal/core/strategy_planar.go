@@ -35,6 +35,7 @@ func (Planar) Separate(in Input) (*Separator, error) {
 	if n <= 2 {
 		return singleVertexSeparator(0), nil
 	}
+	col := shortest.NewCollector(in.Metrics)
 	sep := &Separator{}
 	removed := make([]int, 0, 16)
 	// Two LT phases suffice; allow slack for degenerate tiny components.
@@ -52,7 +53,7 @@ func (Planar) Separate(in Input) (*Separator, error) {
 		} else {
 			rot := in.Rot.Restrict(sub)
 			var err error
-			paths, err = fundamentalCycleSeparator(j, rot)
+			paths, err = fundamentalCycleSeparator(j, rot, col)
 			if err != nil {
 				return nil, fmt.Errorf("core: planar phase %d: %w", iter, err)
 			}
@@ -75,13 +76,14 @@ func (Planar) Separate(in Input) (*Separator, error) {
 // paths whose union is the vertex set of the best-balanced fundamental
 // cycle of a triangulation of (j, rot). By Lipton–Tarjan, the largest
 // remaining component has at most 2n/3 vertices.
-func fundamentalCycleSeparator(j *graph.Graph, rot *embed.Rotation) ([][]int, error) {
+func fundamentalCycleSeparator(j *graph.Graph, rot *embed.Rotation, col *shortest.Collector) ([][]int, error) {
 	n := j.N()
 	tri, err := embed.Triangulate(rot)
 	if err != nil {
 		return nil, err
 	}
 	t := shortest.Dijkstra(j, 0)
+	col.Record(t)
 	// Tree-edge flags over the real edge IDs (graph.Edges enumeration order,
 	// matching embed.Triangulate).
 	edgeID := make(map[[2]int]int, j.M())

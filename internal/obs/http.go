@@ -1,0 +1,25 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"sync"
+)
+
+var publishOnce sync.Once
+
+// Serve exposes the registry snapshot at /debug/vars (via expvar, under
+// the "pathsep" key) and the standard net/http/pprof profiling endpoints
+// at /debug/pprof on addr. It blocks, so callers run it in a goroutine:
+//
+//	go obs.Serve("localhost:6060", reg)
+//
+// Only the first registry passed across all calls is published; expvar
+// names are process-global.
+func Serve(addr string, r *Registry) error {
+	publishOnce.Do(func() {
+		expvar.Publish("pathsep", expvar.Func(func() any { return r.Snapshot() }))
+	})
+	return http.ListenAndServe(addr, nil)
+}

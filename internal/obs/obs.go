@@ -1,0 +1,240 @@
+// Package obs is the zero-dependency observability layer of the library:
+// atomic counters, gauges, and fixed-bucket histograms behind a Registry,
+// a cheap span API for phase timings, and a decomposition trace tree.
+//
+// Every instrument is safe to use through a nil receiver: a nil *Registry
+// hands out nil *Counter / *Gauge / *Histogram handles and zero Spans,
+// whose methods are no-ops. Hot paths therefore fetch their handles once
+// (at build time or at the top of an operation) and call them
+// unconditionally — the disabled path is a nil check per call and
+// performs no allocation, which BenchmarkObsOverhead verifies.
+//
+// Instruments are identified by flat dotted names ("oracle.query_ns");
+// Registry.Snapshot serializes everything to a stable JSON document.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The nil Counter
+// discards all updates.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on nil.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on nil.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count; 0 on nil.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic last-value (or max-value) instrument. The nil Gauge
+// discards all updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v. No-op on nil.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// SetMax raises the gauge to v if v is larger. No-op on nil.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.v.Load()
+		if v <= old || g.v.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value; 0 on nil.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the number of histogram buckets: bucket 0 counts values
+// <= 1, bucket i counts values in (2^(i-1), 2^i], and the last bucket is
+// the overflow. 2^48 ns is about three days, 2^48 is also far beyond any
+// count-valued observation this library records.
+const histBuckets = 50
+
+// Histogram is a fixed-bucket base-2 exponential histogram with atomic
+// count, sum, min and max. The nil Histogram discards all observations.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits
+	minBits atomic.Uint64 // float64 bits; +Inf when empty
+	maxBits atomic.Uint64 // float64 bits; -Inf when empty
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// bucketIndex returns the bucket for v: 0 for v <= 1, otherwise
+// ceil(log2(v)) clamped to the overflow bucket.
+func bucketIndex(v float64) int {
+	if v <= 1 || math.IsNaN(v) {
+		return 0
+	}
+	e := math.Ilogb(v)
+	if math.Ldexp(1, e) < v {
+		e++
+	}
+	if e >= histBuckets {
+		return histBuckets - 1
+	}
+	return e
+}
+
+// Observe records one value. No-op on nil. Allocation-free.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nv) {
+			break
+		}
+	}
+	for {
+		old := h.minBits.Load()
+		if v >= math.Float64frombits(old) || h.minBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if v <= math.Float64frombits(old) || h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations; 0 on nil.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations; 0 on nil.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Registry holds named instruments. The nil Registry hands out nil
+// handles, making every instrumented call site a no-op.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// New returns an empty Registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil (a valid no-op handle) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil
+// (a valid no-op handle) on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+// Returns nil (a valid no-op handle) on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = newHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// sortedKeys returns the map's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatal("counter handle not cached by name")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.SetMax(3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge after SetMax(3) = %d, want 7", got)
+	}
+	g.SetMax(11)
+	if got := g.Value(); got != 11 {
+		t.Fatalf("gauge after SetMax(11) = %d, want 11", got)
+	}
+}
+
+func TestHistogramBucketsAndStats(t *testing.T) {
+	r := New()
+	h := r.Histogram("h")
+	for _, v := range []float64{0.5, 1, 2, 3, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-1006.5) > 1e-9 {
+		t.Fatalf("sum = %v, want 1006.5", h.Sum())
+	}
+	s := h.snapshot()
+	if s.Min != 0.5 || s.Max != 1000 {
+		t.Fatalf("min/max = %v/%v, want 0.5/1000", s.Min, s.Max)
+	}
+	// 0.5 and 1 land in bucket le=1; 2 in le=2; 3 in le=4; 1000 in le=1024.
+	want := []Bucket{{Le: 1, Count: 2}, {Le: 2, Count: 1}, {Le: 4, Count: 1}, {Le: 1024, Count: 1}}
+	if !reflect.DeepEqual(s.Buckets, want) {
+		t.Fatalf("buckets = %+v, want %+v", s.Buckets, want)
+	}
+}
+
+func TestBucketIndexEdges(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{-1, 0}, {0, 0}, {1, 0}, {1.5, 1}, {2, 1}, {2.01, 2},
+		{math.NaN(), 0}, {math.Inf(1), histBuckets - 1}, {1e300, histBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+// TestConcurrentUpdates exercises counters, gauges, histograms, and spans
+// from many goroutines; run under -race it checks the atomics hold up.
+func TestConcurrentUpdates(t *testing.T) {
+	r := New()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("shared.counter")
+			g := r.Gauge("shared.gauge")
+			h := r.Histogram("shared.hist")
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.SetMax(int64(w*per + i))
+				h.Observe(float64(i))
+				sp := r.StartSpan("shared.span")
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared.counter").Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := r.Gauge("shared.gauge").Value(); got != workers*per-1 {
+		t.Fatalf("gauge = %d, want %d", got, workers*per-1)
+	}
+	if got := r.Histogram("shared.hist").Count(); got != workers*per {
+		t.Fatalf("hist count = %d, want %d", got, workers*per)
+	}
+	if got := r.Histogram("shared.span.ns").Count(); got != workers*per {
+		t.Fatalf("span count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("a.count").Add(3)
+	r.Gauge("a.max").Set(9)
+	h := r.Histogram("a.hist")
+	h.Observe(1)
+	h.Observe(100)
+	sp := r.StartSpan("a.phase")
+	time.Sleep(time.Millisecond)
+	sp.End()
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, buf.String())
+	}
+	if !reflect.DeepEqual(back, r.Snapshot()) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, r.Snapshot())
+	}
+	if back.Histograms["a.phase.ns"].Count != 1 {
+		t.Fatalf("span histogram missing from snapshot: %+v", back.Histograms)
+	}
+}
+
+// TestDisabledPathZeroAllocs asserts that a nil registry makes every
+// instrumented call site allocation-free.
+func TestDisabledPathZeroAllocs(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x")
+	tr := (*Trace)(nil)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		c.Inc()
+		g.Set(5)
+		g.SetMax(9)
+		h.Observe(3.5)
+		sp := r.StartSpan("x")
+		sp.End()
+		id := tr.Add(-1, "node")
+		tr.SetNanos(id, 10)
+		tr.SetAttr(id, "n", 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled path allocated %v times per run, want 0", allocs)
+	}
+}
+
+// TestEnabledPathZeroAllocs asserts the steady-state enabled path (handles
+// already fetched) is allocation-free too, so metrics never distort what
+// they measure.
+func TestEnabledPathZeroAllocs(t *testing.T) {
+	r := New()
+	c := r.Counter("x")
+	h := r.Histogram("x")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		h.Observe(42)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled path allocated %v times per run, want 0", allocs)
+	}
+}
+
+func TestTraceTree(t *testing.T) {
+	tr := NewTrace()
+	root := tr.Add(-1, "auto")
+	tr.SetAttr(root, "n", 100)
+	tr.SetNanos(root, int64(3*time.Millisecond))
+	child := tr.Add(root, "greedy-sptree")
+	tr.SetAttr(child, "n", 40)
+	grand := tr.Add(child, "exhaust")
+	tr.SetNanos(grand, 500)
+	if tr.Len() != 3 {
+		t.Fatalf("len = %d, want 3", tr.Len())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteIndented(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "[0] auto n=100") {
+		t.Errorf("root line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  [1] greedy-sptree") {
+		t.Errorf("child line = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "    [2] exhaust") {
+		t.Errorf("grandchild line = %q", lines[2])
+	}
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+)
+
+// Bucket is one non-empty histogram bucket: Count observations with
+// value <= Le (and greater than the previous bucket's Le).
+type Bucket struct {
+	Le    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// HistogramSnapshot is the serializable state of one histogram.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     float64  `json:"sum"`
+	Min     float64  `json:"min"`
+	Max     float64  `json:"max"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Mean returns Sum/Count, or 0 when empty.
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Snapshot is a point-in-time copy of a Registry, serializable to JSON
+// and back. Histogram buckets with zero observations are omitted; the
+// overflow bucket reports Le = +Inf encoded as JSON null-safe max float.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// snapshot copies one histogram under the registry lock.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   math.Float64frombits(h.sumBits.Load()),
+	}
+	if s.Count > 0 {
+		s.Min = math.Float64frombits(h.minBits.Load())
+		s.Max = math.Float64frombits(h.maxBits.Load())
+	}
+	for i := 0; i < histBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		le := math.Ldexp(1, i)
+		if i == 0 {
+			le = 1
+		}
+		s.Buckets = append(s.Buckets, Bucket{Le: le, Count: c})
+	}
+	return s
+}
+
+// Snapshot returns a copy of every instrument's current state. A nil
+// registry yields the zero Snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for _, k := range sortedKeys(r.counters) {
+			s.Counters[k] = r.counters[k].Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for _, k := range sortedKeys(r.gauges) {
+			s.Gauges[k] = r.gauges[k].Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for _, k := range sortedKeys(r.hists) {
+			s.Histograms[k] = r.hists[k].snapshot()
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

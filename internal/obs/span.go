@@ -1,0 +1,30 @@
+package obs
+
+import "time"
+
+// Span measures the wall-clock duration of one phase of work. It is a
+// value type: StartSpan performs no allocation, and the zero Span (from a
+// nil registry) is a no-op.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartSpan begins a span whose duration, in nanoseconds, is recorded
+// into the histogram named name + ".ns" when End is called. On a nil
+// registry it returns the zero Span and records nothing — the disabled
+// call site costs one nil check and does not read the clock.
+func (r *Registry) StartSpan(name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{h: r.Histogram(name + ".ns"), start: time.Now()}
+}
+
+// End records the span's duration. No-op on the zero Span.
+func (s Span) End() {
+	if s.h == nil {
+		return
+	}
+	s.h.Observe(float64(time.Since(s.start)))
+}

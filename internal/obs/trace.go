@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Attr is one key=value annotation of a trace node (subgraph size, path
+// count, ...). Values are integral because every decomposition quantity
+// the library traces is a count or a nanosecond duration.
+type Attr struct {
+	Key string `json:"key"`
+	Val int64  `json:"val"`
+}
+
+// TraceNode is one node of a trace tree: a labeled phase of work with a
+// duration and annotations, linked to its parent by ID.
+type TraceNode struct {
+	ID     int    `json:"id"`
+	Parent int    `json:"parent"` // -1 for roots
+	Label  string `json:"label"`
+	Nanos  int64  `json:"ns"`
+	Attrs  []Attr `json:"attrs,omitempty"`
+}
+
+// Trace is an append-only tree of TraceNodes, used to mirror the
+// decomposition recursion. The nil Trace discards everything: Add
+// returns -1 and the setters are no-ops, so producers thread a Trace
+// unconditionally and pay one nil check when tracing is off.
+type Trace struct {
+	mu    sync.Mutex
+	nodes []TraceNode
+}
+
+// NewTrace returns an empty Trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// Add appends a node under parent (-1 for a root) and returns its ID.
+// Returns -1 on a nil Trace.
+func (t *Trace) Add(parent int, label string) int {
+	if t == nil {
+		return -1
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := len(t.nodes)
+	t.nodes = append(t.nodes, TraceNode{ID: id, Parent: parent, Label: label})
+	return id
+}
+
+// SetNanos records the duration of node id. No-op on nil or id < 0.
+func (t *Trace) SetNanos(id int, ns int64) {
+	if t == nil || id < 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nodes[id].Nanos = ns
+}
+
+// SetAttr appends a key=value annotation to node id. No-op on nil or
+// id < 0.
+func (t *Trace) SetAttr(id int, key string, val int64) {
+	if t == nil || id < 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nodes[id].Attrs = append(t.nodes[id].Attrs, Attr{Key: key, Val: val})
+}
+
+// Len returns the number of nodes; 0 on nil.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.nodes)
+}
+
+// Nodes returns a copy of the trace nodes in insertion order.
+func (t *Trace) Nodes() []TraceNode {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceNode, len(t.nodes))
+	copy(out, t.nodes)
+	return out
+}
+
+// WriteIndented renders the trace as an indented tree, one node per
+// line: label, attributes in insertion order, and the duration.
+func (t *Trace) WriteIndented(w io.Writer) error {
+	nodes := t.Nodes()
+	children := make([][]int, len(nodes))
+	var roots []int
+	for _, n := range nodes {
+		if n.Parent < 0 {
+			roots = append(roots, n.ID)
+		} else {
+			children[n.Parent] = append(children[n.Parent], n.ID)
+		}
+	}
+	var render func(id, depth int) error
+	render = func(id, depth int) error {
+		n := nodes[id]
+		for i := 0; i < depth; i++ {
+			if _, err := io.WriteString(w, "  "); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "[%d] %s", n.ID, n.Label); err != nil {
+			return err
+		}
+		for _, a := range n.Attrs {
+			if _, err := fmt.Fprintf(w, " %s=%d", a.Key, a.Val); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, " (%v)\n", time.Duration(n.Nanos).Round(time.Microsecond)); err != nil {
+			return err
+		}
+		for _, c := range children[id] {
+			if err := render(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range roots {
+		if err := render(r, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}

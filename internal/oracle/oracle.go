@@ -25,9 +25,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"pathsep/internal/core"
 	"pathsep/internal/graph"
+	"pathsep/internal/obs"
 	"pathsep/internal/shortest"
 )
 
@@ -52,6 +54,10 @@ type Options struct {
 	// PortalsPerPath bounds the evenly spaced portals per path in
 	// CoverPortal mode; 0 means ceil(4/ε).
 	PortalsPerPath int
+	// Metrics, when non-nil, receives build-time accounting under
+	// "oracle.*" and "shortest.*" and attaches query-time latency and
+	// portal histograms to the oracle (equivalent to calling SetMetrics).
+	Metrics *obs.Registry
 }
 
 // Key identifies a separator path: decomposition node, phase index within
@@ -111,6 +117,22 @@ type Oracle struct {
 	N      int
 	Eps    float64
 	mode   Mode
+	// Query-time instruments, cached so the hot path costs one nil check
+	// when metrics are disabled. Set via SetMetrics / Options.Metrics.
+	qLatency *obs.Histogram
+	qPortals *obs.Histogram
+}
+
+// SetMetrics attaches (or, with nil, detaches) query-time metrics:
+// "oracle.query_ns" observes per-query latency and
+// "oracle.query_portals" the number of portals compared per query.
+func (o *Oracle) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		o.qLatency, o.qPortals = nil, nil
+		return
+	}
+	o.qLatency = reg.Histogram("oracle.query_ns")
+	o.qPortals = reg.Histogram("oracle.query_portals")
 }
 
 // Build constructs the oracle from a decomposition tree.
@@ -118,6 +140,9 @@ func Build(t *core.Tree, opt Options) (*Oracle, error) {
 	if opt.Epsilon <= 0 {
 		return nil, fmt.Errorf("oracle: epsilon must be positive, got %v", opt.Epsilon)
 	}
+	span := opt.Metrics.StartSpan("oracle.build")
+	defer span.End()
+	col := shortest.NewCollector(opt.Metrics)
 	o := &Oracle{
 		Labels: make([]Label, t.G.N()),
 		N:      t.G.N(),
@@ -195,6 +220,7 @@ func Build(t *core.Tree, opt Options) (*Oracle, error) {
 					k := Key{Node: int32(node.ID), Phase: int16(phaseIdx), Path: int16(pi)}
 					// Closest-attachment entries via one multi-source run.
 					trQ := shortest.MultiSource(j, info.verts)
+					col.Record(trQ)
 					posOf := make(map[int]float64, len(info.verts))
 					for x, jv := range info.verts {
 						posOf[jv] = info.pos[x]
@@ -210,6 +236,7 @@ func Build(t *core.Tree, opt Options) (*Oracle, error) {
 					sel := selectEvenPortals(info.pos, portalsPerPath)
 					for _, x := range sel {
 						tr := shortest.Dijkstra(j, info.verts[x])
+						col.Record(tr)
 						for w := 0; w < j.N(); w++ {
 							if math.IsInf(tr.Dist[w], 1) || tr.Dist[w] == 0 {
 								continue
@@ -221,6 +248,7 @@ func Build(t *core.Tree, opt Options) (*Oracle, error) {
 			default: // CoverExact
 				for w := 0; w < j.N(); w++ {
 					tr := shortest.Dijkstra(j, w)
+					col.Record(tr)
 					for pi, info := range infos {
 						k := Key{Node: int32(node.ID), Phase: int16(phaseIdx), Path: int16(pi)}
 						for _, x := range epsCover(tr.Dist, info, opt.Epsilon) {
@@ -243,6 +271,16 @@ func Build(t *core.Tree, opt Options) (*Oracle, error) {
 
 	for v := range o.Labels {
 		normalizeLabel(&o.Labels[v])
+	}
+	if m := opt.Metrics; m != nil {
+		labelHist := m.Histogram("oracle.label_portals")
+		for v := range o.Labels {
+			labelHist.Observe(float64(o.Labels[v].NumPortals()))
+		}
+		m.Gauge("oracle.labels").Set(int64(o.N))
+		m.Gauge("oracle.portal_words").Set(int64(o.SpacePortals()))
+		m.Gauge("oracle.max_label_portals").Set(int64(o.MaxLabelPortals()))
+		o.SetMetrics(m)
 	}
 	return o, nil
 }
@@ -349,24 +387,43 @@ func normalizeLabel(l *Label) {
 }
 
 // Query returns a (1+ε)-approximate distance between u and v, or +Inf if
-// they are disconnected.
+// they are disconnected. With metrics attached (SetMetrics) it also
+// observes the query latency and the number of portals compared; the
+// disabled path is a single nil check and allocation-free.
 func (o *Oracle) Query(u, v int) float64 {
 	if u == v {
 		return 0
 	}
-	return QueryLabels(&o.Labels[u], &o.Labels[v])
+	if o.qLatency == nil {
+		est, _ := queryLabels(&o.Labels[u], &o.Labels[v])
+		return est
+	}
+	start := time.Now()
+	est, portals := queryLabels(&o.Labels[u], &o.Labels[v])
+	o.qLatency.Observe(float64(time.Since(start)))
+	o.qPortals.Observe(float64(portals))
+	return est
 }
 
 // QueryLabels answers an approximate distance query from two labels alone
 // (the distributed scheme): the minimum over shared separator paths of the
 // best portal-pair estimate.
 func QueryLabels(lu, lv *Label) float64 {
+	est, _ := queryLabels(lu, lv)
+	return est
+}
+
+// queryLabels is QueryLabels plus the number of portals examined (the
+// query's work, reported by the oracle.query_portals histogram).
+func queryLabels(lu, lv *Label) (float64, int) {
 	best := math.Inf(1)
+	portals := 0
 	i, j := 0, 0
 	for i < len(lu.Entries) && j < len(lv.Entries) {
 		a, b := lu.Entries[i], lv.Entries[j]
 		switch {
 		case a.Key == b.Key:
+			portals += len(a.Portals) + len(b.Portals)
 			if est := pairMin(a.Portals, b.Portals); est < best {
 				best = est
 			}
@@ -378,7 +435,7 @@ func QueryLabels(lu, lv *Label) float64 {
 			j++
 		}
 	}
-	return best
+	return best, portals
 }
 
 // pairMin computes min over portals p in a, q in b of

@@ -32,6 +32,7 @@ import (
 
 	"pathsep/internal/core"
 	"pathsep/internal/graph"
+	"pathsep/internal/obs"
 	"pathsep/internal/oracle"
 	"pathsep/internal/shortest"
 )
@@ -128,6 +129,25 @@ type Router struct {
 	G      *graph.Graph
 	Tables []Table
 	Addrs  []Addr
+	// Route-time instruments, cached so the hot path costs one nil check
+	// when metrics are disabled. Set via SetMetrics / Options.Metrics.
+	rHops   *obs.Histogram
+	rHeader *obs.Histogram
+	rFailed *obs.Counter
+}
+
+// SetMetrics attaches (or, with nil, detaches) route-time metrics:
+// "routing.hops" observes the hop count of each delivered route,
+// "routing.header_bytes" the size of the target address consulted, and
+// "routing.undelivered" counts failed routes.
+func (r *Router) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		r.rHops, r.rHeader, r.rFailed = nil, nil, nil
+		return
+	}
+	r.rHops = reg.Histogram("routing.hops")
+	r.rHeader = reg.Histogram("routing.header_bytes")
+	r.rFailed = reg.Counter("routing.undelivered")
 }
 
 // Options configures Build.
@@ -137,6 +157,10 @@ type Options struct {
 	Epsilon float64
 	// PortalsPerPath overrides the portal count.
 	PortalsPerPath int
+	// Metrics, when non-nil, receives build-time accounting under
+	// "routing.*" and "shortest.*" and attaches route-time histograms to
+	// the router (equivalent to calling SetMetrics).
+	Metrics *obs.Registry
 }
 
 // Build constructs routing tables and addresses from a decomposition tree.
@@ -148,6 +172,9 @@ func Build(t *core.Tree, opt Options) (*Router, error) {
 	if portals <= 0 {
 		portals = int(math.Ceil(4 / opt.Epsilon))
 	}
+	span := opt.Metrics.StartSpan("routing.build")
+	defer span.End()
+	col := shortest.NewCollector(opt.Metrics)
 	r := &Router{
 		G:      t.G,
 		Tables: make([]Table, t.G.N()),
@@ -216,6 +243,7 @@ func Build(t *core.Tree, opt Options) (*Router, error) {
 
 				// Attachment forest.
 				trQ := shortest.MultiSource(j, verts)
+				col.Record(trQ)
 				dfsA, err := dfsNumber(j.N(), trQ.Parent, trQ.Source)
 				if err != nil {
 					return nil, err
@@ -263,6 +291,7 @@ func Build(t *core.Tree, opt Options) (*Router, error) {
 				// Global portal trees.
 				for portIdx, x := range evenPortalIdx(pos, portals) {
 					tr := shortest.Dijkstra(j, verts[x])
+					col.Record(tr)
 					src := make([]int, j.N())
 					for w := range src {
 						if math.IsInf(tr.Dist[w], 1) {
@@ -308,6 +337,17 @@ func Build(t *core.Tree, opt Options) (*Router, error) {
 	}
 	for v := range r.Tables {
 		sortEntries(&r.Tables[v], &r.Addrs[v])
+	}
+	if m := opt.Metrics; m != nil {
+		tableHist := m.Histogram("routing.table_words")
+		addrHist := m.Histogram("routing.addr_words")
+		for v := range r.Tables {
+			tableHist.Observe(float64(r.Tables[v].NumWords()))
+			addrHist.Observe(float64(r.Addrs[v].NumWords()))
+		}
+		m.Gauge("routing.max_table_words").Set(int64(r.MaxTableWords()))
+		m.Gauge("routing.max_addr_words").Set(int64(r.MaxAddrWords()))
+		r.SetMetrics(m)
 	}
 	return r, nil
 }
@@ -455,6 +495,19 @@ type routePlan struct {
 // chosen plan's route is exactly realizable (up the portal tree, then
 // down DFS intervals), so maxHops only guards against corrupted tables.
 func (r *Router) Route(s, target int, maxHops int) ([]int, bool) {
+	path, ok := r.route(s, target, maxHops)
+	if r.rHops != nil {
+		r.rHeader.Observe(float64(r.Addrs[target].NumWords() * 8))
+		if ok {
+			r.rHops.Observe(float64(len(path) - 1))
+		} else {
+			r.rFailed.Inc()
+		}
+	}
+	return path, ok
+}
+
+func (r *Router) route(s, target int, maxHops int) ([]int, bool) {
 	path := []int{s}
 	if s == target {
 		return path, true

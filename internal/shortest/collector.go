@@ -1,0 +1,48 @@
+package shortest
+
+import "pathsep/internal/obs"
+
+// Collector aggregates per-run Dijkstra Stats into a registry under the
+// "shortest.*" names. NewCollector on a nil registry returns nil, and
+// the nil Collector's Record is a no-op, so instrumented builders create
+// one unconditionally and record every tree they compute:
+//
+//	col := shortest.NewCollector(reg) // nil when metrics are off
+//	tr := shortest.Dijkstra(g, v)
+//	col.Record(tr)
+type Collector struct {
+	runs    *obs.Counter
+	pushes  *obs.Counter
+	pops    *obs.Counter
+	settled *obs.Counter
+	scanned *obs.Counter
+	relaxed *obs.Counter
+}
+
+// NewCollector returns a collector bound to reg, or nil when reg is nil.
+func NewCollector(reg *obs.Registry) *Collector {
+	if reg == nil {
+		return nil
+	}
+	return &Collector{
+		runs:    reg.Counter("shortest.runs"),
+		pushes:  reg.Counter("shortest.heap_pushes"),
+		pops:    reg.Counter("shortest.heap_pops"),
+		settled: reg.Counter("shortest.settled"),
+		scanned: reg.Counter("shortest.edges_scanned"),
+		relaxed: reg.Counter("shortest.relaxations"),
+	}
+}
+
+// Record adds one tree's stats to the registry. No-op on nil.
+func (c *Collector) Record(t *Tree) {
+	if c == nil || t == nil {
+		return
+	}
+	c.runs.Inc()
+	c.pushes.Add(t.Stats.HeapPushes)
+	c.pops.Add(t.Stats.HeapPops)
+	c.settled.Add(t.Stats.Settled)
+	c.scanned.Add(t.Stats.EdgesScanned)
+	c.relaxed.Add(t.Stats.Relaxations)
+}

@@ -13,6 +13,22 @@ import (
 // Inf is the distance reported for unreachable vertices.
 var Inf = math.Inf(1)
 
+// Stats counts the work one Dijkstra run performed. The counts are
+// always collected (plain local increments, no atomics) so callers with
+// an obs.Registry can aggregate them after the fact via Collector.
+type Stats struct {
+	// HeapPushes counts priority-queue pushes (including decrease-keys).
+	HeapPushes int64
+	// HeapPops counts priority-queue pops, settled or stale.
+	HeapPops int64
+	// Settled counts vertices settled (finalized).
+	Settled int64
+	// EdgesScanned counts neighbor edges examined.
+	EdgesScanned int64
+	// Relaxations counts tentative-distance improvements.
+	Relaxations int64
+}
+
 // Tree is a shortest-path tree from one or more sources.
 type Tree struct {
 	// Dist[v] is the distance from the nearest source, Inf if unreachable.
@@ -27,6 +43,8 @@ type Tree struct {
 	Order []int
 	// Hops[v] is the number of edges on the tree path from the source.
 	Hops []int
+	// Stats is the work accounting of the run that built this tree.
+	Stats Stats
 }
 
 // Dijkstra computes the shortest-path tree of g from src.
@@ -57,6 +75,7 @@ func MultiSourceOffsets(g *graph.Graph, sources []int, offsets []float64) *Tree 
 		t.Source[i] = -1
 	}
 	pq := pqueue.New(n)
+	var pushes, pops, scanned, relaxed int64
 	for i, s := range sources {
 		d := 0.0
 		if offsets != nil {
@@ -66,17 +85,20 @@ func MultiSourceOffsets(g *graph.Graph, sources []int, offsets []float64) *Tree 
 			t.Dist[s] = d
 			t.Source[s] = s
 			pq.Push(s, d)
+			pushes++
 		}
 	}
 	done := make([]bool, n)
 	for pq.Len() > 0 {
 		v, dv := pq.Pop()
+		pops++
 		if done[v] {
 			continue
 		}
 		done[v] = true
 		t.Order = append(t.Order, v)
 		for _, h := range g.Neighbors(v) {
+			scanned++
 			nd := dv + h.W
 			if nd < t.Dist[h.To] {
 				t.Dist[h.To] = nd
@@ -84,8 +106,17 @@ func MultiSourceOffsets(g *graph.Graph, sources []int, offsets []float64) *Tree 
 				t.Source[h.To] = t.Source[v]
 				t.Hops[h.To] = t.Hops[v] + 1
 				pq.Push(h.To, nd)
+				pushes++
+				relaxed++
 			}
 		}
+	}
+	t.Stats = Stats{
+		HeapPushes:   pushes,
+		HeapPops:     pops,
+		Settled:      int64(len(t.Order)),
+		EdgesScanned: scanned,
+		Relaxations:  relaxed,
 	}
 	return t
 }

@@ -12,6 +12,7 @@ import (
 
 	"pathsep/internal/core"
 	"pathsep/internal/graph"
+	"pathsep/internal/obs"
 	"pathsep/internal/shortest"
 )
 
@@ -376,6 +377,17 @@ type Stats struct {
 // and aggregates hop counts. Each trial redraws the augmentation if
 // redraw is non-nil (matching the expectation over <G,D> in Definition 4).
 func Experiment(a *Augmented, trials int, rng *rand.Rand, redraw func() *Augmented) Stats {
+	return ExperimentObserved(a, trials, rng, redraw, nil)
+}
+
+// ExperimentObserved is Experiment with per-trial observability: when reg
+// is non-nil, every delivered trial's hop count lands in the
+// "smallworld.greedy_hops" histogram and failures increment
+// "smallworld.undelivered" (Theorem 3's measured quantity as a
+// distribution, not just a mean).
+func ExperimentObserved(a *Augmented, trials int, rng *rand.Rand, redraw func() *Augmented, reg *obs.Registry) Stats {
+	hopsHist := reg.Histogram("smallworld.greedy_hops") // nil-safe handles
+	undelivered := reg.Counter("smallworld.undelivered")
 	g := a.G
 	st := Stats{Trials: trials}
 	totalHops := 0
@@ -397,6 +409,9 @@ func Experiment(a *Augmented, trials int, rng *rand.Rand, redraw func() *Augment
 			if hops > st.MaxHops {
 				st.MaxHops = hops
 			}
+			hopsHist.Observe(float64(hops))
+		} else {
+			undelivered.Inc()
 		}
 	}
 	if st.Delivered > 0 {

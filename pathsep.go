@@ -42,10 +42,38 @@ import (
 	"pathsep/internal/embed"
 	"pathsep/internal/graph"
 	"pathsep/internal/labeling"
+	"pathsep/internal/obs"
 	"pathsep/internal/oracle"
 	"pathsep/internal/routing"
 	"pathsep/internal/smallworld"
 )
+
+// Metrics is the observability registry: atomic counters, gauges and
+// fixed-bucket histograms that the decomposition, oracle, routing and
+// small-world layers feed when one is attached via the option structs.
+// A nil *Metrics disables all instrumentation at zero cost (no
+// allocations on any hot path). Snapshot() / WriteJSON serialize it.
+type Metrics = obs.Registry
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.New() }
+
+// MetricsSnapshot is a point-in-time JSON-serializable copy of a Metrics
+// registry.
+type MetricsSnapshot = obs.Snapshot
+
+// DecompositionTrace records the decomposition recursion as a tree of
+// labeled, timed nodes (one per decomposition node); render it with
+// WriteIndented.
+type DecompositionTrace = obs.Trace
+
+// NewDecompositionTrace returns an empty trace.
+func NewDecompositionTrace() *DecompositionTrace { return obs.NewTrace() }
+
+// ServeDebug exposes the metrics snapshot at /debug/vars and the
+// net/http/pprof endpoints at /debug/pprof on addr. It blocks; run it in
+// a goroutine.
+func ServeDebug(addr string, m *Metrics) error { return obs.Serve(addr, m) }
 
 // Graph is a weighted undirected graph; build one with NewBuilder or a
 // generator.
@@ -110,6 +138,11 @@ type Options struct {
 	Embedding *Embedding
 	// Certify re-verifies every separator against Definition 1 (slow).
 	Certify bool
+	// Metrics, when non-nil, receives per-level timings, separator path
+	// counts and Dijkstra work accounting ("core.*", "shortest.*").
+	Metrics *Metrics
+	// Trace, when non-nil, receives the decomposition trace tree.
+	Trace *DecompositionTrace
 }
 
 func (o Options) strategy() (core.Strategy, error) {
@@ -139,6 +172,8 @@ func Decompose(g *Graph, opt Options) (*Decomposition, error) {
 		Strategy: strat,
 		Rot:      opt.Embedding,
 		Certify:  opt.Certify,
+		Metrics:  opt.Metrics,
+		Trace:    opt.Trace,
 	})
 }
 
@@ -165,6 +200,9 @@ type OracleOptions struct {
 	// PortalsPerPath bounds portals per path in OraclePortals mode
 	// (0 = ceil(4/ε)).
 	PortalsPerPath int
+	// Metrics, when non-nil, receives build accounting ("oracle.*",
+	// "shortest.*") and attaches query latency/portal histograms.
+	Metrics *Metrics
 }
 
 // NewOracle builds the Theorem 2 distance oracle over a decomposition.
@@ -177,6 +215,7 @@ func NewOracle(d *Decomposition, opt OracleOptions) (*Oracle, error) {
 		Epsilon:        opt.Epsilon,
 		Mode:           mode,
 		PortalsPerPath: opt.PortalsPerPath,
+		Metrics:        opt.Metrics,
 	})
 }
 
@@ -190,6 +229,9 @@ type RouterOptions struct {
 	Epsilon float64
 	// PortalsPerPath overrides the portal count.
 	PortalsPerPath int
+	// Metrics, when non-nil, receives build accounting ("routing.*",
+	// "shortest.*") and attaches hop and header-byte histograms.
+	Metrics *Metrics
 }
 
 // NewRouter builds the compact routing scheme over a decomposition.
@@ -197,6 +239,7 @@ func NewRouter(d *Decomposition, opt RouterOptions) (*Router, error) {
 	return routing.Build(d, routing.Options{
 		Epsilon:        opt.Epsilon,
 		PortalsPerPath: opt.PortalsPerPath,
+		Metrics:        opt.Metrics,
 	})
 }
 
@@ -224,6 +267,13 @@ func Augment(d *Decomposition, model SmallWorldModel, rng *rand.Rand) (*Augmente
 // reports delivery and hop statistics (Theorem 3's measured quantity).
 func GreedyRouteStats(a *Augmented, trials int, rng *rand.Rand) smallworld.Stats {
 	return smallworld.Experiment(a, trials, rng, nil)
+}
+
+// GreedyRouteStatsObserved is GreedyRouteStats with per-trial hop counts
+// recorded into m's "smallworld.greedy_hops" histogram (nil m behaves
+// like GreedyRouteStats).
+func GreedyRouteStatsObserved(a *Augmented, trials int, rng *rand.Rand, m *Metrics) smallworld.Stats {
+	return smallworld.ExperimentObserved(a, trials, rng, nil, m)
 }
 
 // Generators re-exported for convenience.
