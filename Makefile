@@ -1,14 +1,20 @@
 # Tier-1+ verification for the pathsep repo.
 #
-#   make check      vet + build + race tests + obs-overhead benchmark
+#   make check      vet + lint + build + race tests + fuzz smoke + obs-overhead benchmark
 #   make test       plain test run (the tier-1 gate)
+#   make lint       run the repo-specific analyzers (cmd/pathsep-lint) over ./...
+#   make fuzz-short short fuzz smoke of the graph/label/address decoders
 #   make bench-obs  regenerate BENCH_obs.json (metrics on vs. off numbers)
 
 GO ?= go
+FUZZTIME ?= 5s
 
-.PHONY: check test vet build race bench-overhead bench-obs
+LINT_BIN := bin/pathsep-lint
+LINT_SRC := $(wildcard cmd/pathsep-lint/*.go internal/analyzers/*.go internal/analyzers/*/*.go)
 
-check: vet build race bench-overhead
+.PHONY: check test vet lint fuzz-short build race bench-overhead bench-obs
+
+check: vet lint build race fuzz-short bench-overhead
 
 test:
 	$(GO) build ./...
@@ -17,11 +23,27 @@ test:
 vet:
 	$(GO) vet ./...
 
+# The vettool binary is cached under bin/ and rebuilt only when analyzer
+# sources change.
+$(LINT_BIN): $(LINT_SRC)
+	$(GO) build -o $(LINT_BIN) ./cmd/pathsep-lint
+
+lint: $(LINT_BIN)
+	$(GO) vet -vettool=$(LINT_BIN) ./...
+
 build:
 	$(GO) build ./...
 
 race:
 	$(GO) test -race ./...
+
+# Short coverage-guided runs of every fuzz target; seed corpora alone run
+# in plain `go test`, this also mutates for FUZZTIME each.
+fuzz-short:
+	$(GO) test -fuzz=FuzzGraphIO -fuzztime=$(FUZZTIME) ./internal/graph/
+	$(GO) test -fuzz=FuzzDecodeLabel -fuzztime=$(FUZZTIME) ./internal/oracle/
+	$(GO) test -fuzz=FuzzDecodeOracle -fuzztime=$(FUZZTIME) ./internal/oracle/
+	$(GO) test -fuzz=FuzzDecodeAddr -fuzztime=$(FUZZTIME) ./internal/routing/
 
 # The disabled-path gate: must report 0 allocs/op on QueryDisabled.
 bench-overhead:

@@ -43,7 +43,10 @@ func main() {
 		if *only != "" && !strings.EqualFold(*only, e.name) {
 			continue
 		}
-		e.run(cfg).Fprint(os.Stdout)
+		if err := e.run(cfg).Fprint(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: writing %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
 		ran++
 	}
 	if ran == 0 {

@@ -104,7 +104,7 @@ func main() {
 			continue
 		}
 		d := shortest.Dijkstra(g, u).Dist[v]
-		if math.IsInf(d, 1) || d == 0 {
+		if math.IsInf(d, 1) || core.IsZeroDist(d) {
 			continue
 		}
 		ratio := o.Query(u, v) / d

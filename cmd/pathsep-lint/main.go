@@ -1,0 +1,65 @@
+// Command pathsep-lint is the repo's custom static-analysis suite (see
+// internal/analyzers): five go/analysis passes that enforce pathsep's
+// correctness invariants.
+//
+// It is a standard unitchecker binary, so it runs in two ways:
+//
+//	go vet -vettool=$(pwd)/bin/pathsep-lint ./...   # as a vettool
+//	bin/pathsep-lint ./...                          # standalone
+//
+// Standalone invocations re-exec `go vet -vettool=<self>` with the given
+// package patterns, so the go command performs package loading, caching and
+// dependency export-data plumbing in both modes. `make lint` builds the
+// cached binary under bin/ and runs it over ./....
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"pathsep/internal/analyzers"
+)
+
+func main() {
+	args := os.Args[1:]
+	if vettoolInvocation(args) {
+		unitchecker.Main(analyzers.All()...)
+		return
+	}
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: pathsep-lint <package patterns>  (e.g. pathsep-lint ./...)")
+		os.Exit(2)
+	}
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pathsep-lint: cannot locate own binary: %v\n", err)
+		os.Exit(1)
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "pathsep-lint: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// vettoolInvocation reports whether the go command is driving us as a
+// vettool: it probes with -V=full and -flags, then invokes with a single
+// *.cfg argument per package.
+func vettoolInvocation(args []string) bool {
+	for _, a := range args {
+		if strings.HasSuffix(a, ".cfg") || a == "-flags" || strings.HasPrefix(a, "-V") {
+			return true
+		}
+	}
+	return false
+}

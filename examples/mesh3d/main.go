@@ -54,7 +54,7 @@ func main() {
 			continue
 		}
 		d := shortest.Dijkstra(dec.G, u).Dist[v]
-		if d == 0 {
+		if pathsep.IsZeroDist(d) {
 			continue
 		}
 		if r := orc.Query(u, v) / d; r > worst {

@@ -73,7 +73,7 @@ func main() {
 		t0 = time.Now()
 		d := shortest.Dijkstra(g, u).Dist[v]
 		dijkstraTime += time.Since(t0)
-		if math.IsInf(d, 1) || d == 0 {
+		if math.IsInf(d, 1) || pathsep.IsZeroDist(d) {
 			continue
 		}
 		ratio := est / d

@@ -1,0 +1,35 @@
+// Package analyzers collects the repo-specific go/analysis passes that
+// enforce pathsep's correctness invariants — the rules the compiler cannot
+// see but the theorems and the observability layer depend on:
+//
+//   - obsnilguard: obs handles stay nil-safe and are never copied by value
+//   - seededrand:  randomness is injected and reproducible, never ambient
+//   - floatcmp:    float64 distances are compared through epsilon helpers
+//   - subgraphmut: shared adjacency storage is never mutated downstream
+//   - errctx:      errors are wrapped with %w and never silently dropped
+//
+// The suite runs as `go vet -vettool=bin/pathsep-lint` (see cmd/pathsep-lint
+// and `make lint`), and each analyzer carries analysistest-style coverage
+// under its testdata/src tree.
+package analyzers
+
+import (
+	"golang.org/x/tools/go/analysis"
+
+	"pathsep/internal/analyzers/errctx"
+	"pathsep/internal/analyzers/floatcmp"
+	"pathsep/internal/analyzers/obsnilguard"
+	"pathsep/internal/analyzers/seededrand"
+	"pathsep/internal/analyzers/subgraphmut"
+)
+
+// All returns every analyzer in the suite, in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		errctx.Analyzer,
+		floatcmp.Analyzer,
+		obsnilguard.Analyzer,
+		seededrand.Analyzer,
+		subgraphmut.Analyzer,
+	}
+}

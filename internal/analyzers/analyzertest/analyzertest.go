@@ -1,0 +1,294 @@
+// Package analyzertest is a self-contained re-implementation of the core of
+// golang.org/x/tools/go/analysis/analysistest, built only on the standard
+// library and the vendored go/analysis API.
+//
+// The real analysistest depends on go/packages, which is not part of the
+// toolchain-vendored x/tools subset this repo vendors (see DESIGN.md,
+// "Static analysis"). This harness supports exactly what the repo's
+// analyzers need and keeps the familiar layout and assertion syntax:
+//
+//   - test packages live under testdata/src/<import/path>/*.go (GOPATH
+//     style), so stub packages can impersonate real import paths such as
+//     pathsep/internal/obs;
+//   - imports of other testdata packages resolve recursively, everything
+//     else resolves from the standard library via the source importer;
+//   - expected diagnostics are written as `// want "regexp"` comments on
+//     the offending line, with multiple space-separated quoted patterns
+//     allowed; every diagnostic must be matched and every pattern must
+//     fire, or the test fails;
+//   - analyzer dependencies are run first (the inspect pass in practice);
+//     fact-using analyzers are not supported.
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Run loads testdata/src/<pkgPath> beneath dir, applies a, and checks the
+// reported diagnostics against the package's want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	l := newLoader(dir)
+	tp, err := l.load(pkgPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pkgPath, err)
+	}
+	diags, err := runAnalyzer(a, l.fset, tp)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+	}
+	checkWants(t, l.fset, tp.files, diags)
+}
+
+// testPkg is one type-checked testdata package.
+type testPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// loader resolves testdata packages first and the standard library second.
+type loader struct {
+	root   string
+	fset   *token.FileSet
+	cache  map[string]*testPkg
+	stdlib types.ImporterFrom
+}
+
+func newLoader(dir string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		root:   dir,
+		fset:   fset,
+		cache:  make(map[string]*testPkg),
+		stdlib: importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+}
+
+func (l *loader) load(path string) (*testPkg, error) {
+	if tp, ok := l.cache[path]; ok {
+		return tp, nil
+	}
+	dir := filepath.Join(l.root, "src", filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analyzertest: %w", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analyzertest: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analyzertest: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: importerFunc(l.importPkg)}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analyzertest: type-checking %s: %w", path, err)
+	}
+	tp := &testPkg{pkg: pkg, files: files, info: info}
+	l.cache[path] = tp
+	return tp, nil
+}
+
+func (l *loader) importPkg(path string) (*types.Package, error) {
+	if fi, err := os.Stat(filepath.Join(l.root, "src", filepath.FromSlash(path))); err == nil && fi.IsDir() {
+		tp, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return tp.pkg, nil
+	}
+	return l.stdlib.Import(path)
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// runAnalyzer executes a (and its Requires closure) over tp and returns the
+// diagnostics reported by a itself.
+func runAnalyzer(a *analysis.Analyzer, fset *token.FileSet, tp *testPkg) ([]analysis.Diagnostic, error) {
+	results := make(map[*analysis.Analyzer]interface{})
+	var diags []analysis.Diagnostic
+
+	var exec func(an *analysis.Analyzer, capture bool) error
+	exec = func(an *analysis.Analyzer, capture bool) error {
+		if _, done := results[an]; done {
+			return nil
+		}
+		if len(an.FactTypes) > 0 {
+			return fmt.Errorf("analyzer %s uses facts, unsupported by analyzertest", an.Name)
+		}
+		for _, dep := range an.Requires {
+			if err := exec(dep, false); err != nil {
+				return err
+			}
+		}
+		pass := &analysis.Pass{
+			Analyzer:   an,
+			Fset:       fset,
+			Files:      tp.files,
+			Pkg:        tp.pkg,
+			TypesInfo:  tp.info,
+			TypesSizes: types.SizesFor("gc", runtime.GOARCH),
+			ResultOf:   results,
+			ReadFile:   os.ReadFile,
+			Report: func(d analysis.Diagnostic) {
+				if capture {
+					diags = append(diags, d)
+				}
+			},
+			ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
+			ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+			ExportObjectFact:  func(types.Object, analysis.Fact) {},
+			ExportPackageFact: func(analysis.Fact) {},
+			AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+			AllPackageFacts:   func() []analysis.PackageFact { return nil },
+		}
+		// The inspect pass is the only dependency the suite uses; give it a
+		// fresh inspector rather than relying on its Run, to stay
+		// independent of its internals.
+		if an == inspect.Analyzer {
+			results[an] = inspector.New(tp.files)
+			return nil
+		}
+		res, err := an.Run(pass)
+		if err != nil {
+			return fmt.Errorf("analyzer %s: %w", an.Name, err)
+		}
+		results[an] = res
+		return nil
+	}
+	if err := exec(a, true); err != nil {
+		return nil, err
+	}
+	return diags, nil
+}
+
+// want is one expected-diagnostic pattern.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// checkWants cross-matches diagnostics against `// want` comments.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := fset.Position(c.Pos())
+				for _, pat := range parseWant(t, pos, c.Text) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// parseWant extracts the quoted patterns from a `// want "..." "..."`
+// comment, returning nil when the comment is not a want comment.
+func parseWant(t *testing.T, pos token.Position, text string) []string {
+	t.Helper()
+	idx := strings.Index(text, "// want ")
+	if idx < 0 {
+		return nil
+	}
+	rest := strings.TrimSpace(text[idx+len("// want "):])
+	var pats []string
+	for rest != "" {
+		if rest[0] != '"' && rest[0] != '`' {
+			t.Fatalf("%s: malformed want comment near %q", pos, rest)
+		}
+		quote := rest[0]
+		end := -1
+		for i := 1; i < len(rest); i++ {
+			if rest[i] == '\\' && quote == '"' {
+				i++
+				continue
+			}
+			if rest[i] == quote {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			t.Fatalf("%s: unterminated want pattern in %q", pos, rest)
+		}
+		pat, err := strconv.Unquote(rest[:end+1])
+		if err != nil {
+			t.Fatalf("%s: bad want pattern %q: %v", pos, rest[:end+1], err)
+		}
+		pats = append(pats, pat)
+		rest = strings.TrimSpace(rest[end+1:])
+	}
+	return pats
+}

@@ -1,0 +1,183 @@
+// Package errctx enforces the library's error-handling contract in
+// non-test, non-main code:
+//
+//   - fmt.Errorf with an error operand must wrap it with %w, so callers can
+//     errors.Is/As through decomposition, oracle and routing layers instead
+//     of string-matching;
+//   - an error result must never be silently dropped: a call whose last
+//     result is an error may not stand alone as a statement (or be spawned
+//     via go/defer) without consuming the error. Writes to *strings.Builder
+//     and *bytes.Buffer (and fmt.Fprint* into them) are exempt because they
+//     are documented never to fail. A deliberate discard must be spelled
+//     `_ = f()`, which stays visible in review.
+package errctx
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Analyzer is the errctx pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "errctx",
+	Doc:      "require %w wrapping of error operands in fmt.Errorf and forbid silently discarded errors in library code",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if pass.Pkg.Name() == "main" {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	inTestFile := func(n ast.Node) bool {
+		return strings.HasSuffix(pass.Fset.Position(n.Pos()).Filename, "_test.go")
+	}
+
+	nodeTypes := []ast.Node{
+		(*ast.CallExpr)(nil),
+		(*ast.ExprStmt)(nil),
+		(*ast.DeferStmt)(nil),
+		(*ast.GoStmt)(nil),
+	}
+	ins.Preorder(nodeTypes, func(n ast.Node) {
+		if inTestFile(n) {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkErrorf(pass, n)
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				checkDiscard(pass, call, "")
+			}
+		case *ast.DeferStmt:
+			checkDiscard(pass, n.Call, "deferred ")
+		case *ast.GoStmt:
+			checkDiscard(pass, n.Call, "goroutine ")
+		}
+	})
+	return nil, nil
+}
+
+// checkErrorf flags fmt.Errorf calls that format an error operand without
+// %w.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	if countWrapVerbs(format) > 0 {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		t := pass.TypesInfo.TypeOf(arg)
+		if t == nil {
+			continue
+		}
+		if types.Implements(t, errorType) || types.Implements(types.NewPointer(t), errorType) {
+			pass.Reportf(arg.Pos(), "fmt.Errorf formats an error operand without %%w; wrap it so callers can errors.Is/As through this layer")
+			return
+		}
+	}
+}
+
+// countWrapVerbs counts %w verbs in a format string, skipping %%.
+func countWrapVerbs(format string) int {
+	count := 0
+	for i := 0; i+1 < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		// Skip flags, width, precision between % and the verb.
+		j := i + 1
+		for j < len(format) && strings.ContainsRune("+-# 0123456789.[]*", rune(format[j])) {
+			j++
+		}
+		if j < len(format) {
+			if format[j] == 'w' {
+				count++
+			}
+			i = j
+		}
+	}
+	return count
+}
+
+// checkDiscard flags statement-position calls whose final result is an
+// error.
+func checkDiscard(pass *analysis.Pass, call *ast.CallExpr, kind string) {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return
+	}
+	var last types.Type
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		if t.Len() == 0 {
+			return
+		}
+		last = t.At(t.Len() - 1).Type()
+	default:
+		last = t
+	}
+	if last == nil || !types.Implements(last, errorType) {
+		return
+	}
+	if neverFails(pass, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "%serror result discarded; handle it or assign it to _ explicitly", kind)
+}
+
+// neverFails exempts calls documented never to return a non-nil error:
+// methods on *strings.Builder / *bytes.Buffer, and fmt.Fprint* whose writer
+// is one of those types.
+func neverFails(pass *analysis.Pass, call *ast.CallExpr) bool {
+	infallibleWriter := func(t types.Type) bool {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		n, ok := t.(*types.Named)
+		if !ok || n.Obj().Pkg() == nil {
+			return false
+		}
+		full := n.Obj().Pkg().Path() + "." + n.Obj().Name()
+		return full == "strings.Builder" || full == "bytes.Buffer"
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if s := pass.TypesInfo.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+			if infallibleWriter(s.Recv()) {
+				return true
+			}
+		}
+		if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil &&
+			fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Fprint") && len(call.Args) > 0 {
+			if t := pass.TypesInfo.TypeOf(call.Args[0]); t != nil && infallibleWriter(t) {
+				return true
+			}
+		}
+	}
+	return false
+}

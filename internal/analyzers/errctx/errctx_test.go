@@ -1,0 +1,12 @@
+package errctx_test
+
+import (
+	"testing"
+
+	"pathsep/internal/analyzers/analyzertest"
+	"pathsep/internal/analyzers/errctx"
+)
+
+func TestErrCtx(t *testing.T) {
+	analyzertest.Run(t, "testdata", errctx.Analyzer, "a")
+}

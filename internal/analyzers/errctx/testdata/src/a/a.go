@@ -1,0 +1,50 @@
+// Package a exercises the errctx analyzer in a library (non-main,
+// non-test) package.
+package a
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Formatting an error operand without %w hides it from errors.Is/As.
+func wrapV(err error) error {
+	return fmt.Errorf("loading config: %v", err) // want "without %w"
+}
+
+func wrapS(err error) error {
+	return fmt.Errorf("loading config: %s", err) // want "without %w"
+}
+
+// %w is the sanctioned wrapping verb.
+func wrapOK(err error) error {
+	return fmt.Errorf("loading config: %w", err)
+}
+
+// No error operand: nothing to wrap.
+func plain(n int) error {
+	return fmt.Errorf("bad count %d", n)
+}
+
+// Statement-position calls must not drop their error result.
+func discard() {
+	os.Remove("x") // want "error result discarded"
+}
+
+func discardDefer(f *os.File) {
+	defer f.Close() // want "deferred error result discarded"
+}
+
+// Explicit discard with _ documents intent and is allowed.
+func explicit() {
+	_, _ = fmt.Println("ok")
+}
+
+// strings.Builder writes never fail and are exempt.
+func build() string {
+	var b strings.Builder
+	b.WriteString("hi")
+	fmt.Fprintf(&b, "%d", 1)
+	return b.String()
+}

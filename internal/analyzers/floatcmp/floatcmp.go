@@ -1,0 +1,127 @@
+// Package floatcmp forbids raw ==, != and switch comparisons on floating
+// point values in non-test code.
+//
+// Distances in this library are sums of float64 edge weights computed along
+// different paths; two mathematically equal distances are routinely not
+// bit-equal, and the (1+ε) guarantees of the oracle and routing layers are
+// stated up to epsilon. A raw equality test is either a latent bug or an
+// exact-provenance assertion that deserves a name. All comparisons must go
+// through the epsilon helpers in internal/core/floatcmp.go (SameDist,
+// ApproxDistEq, WithinFactor, ...) or the math predicates (math.IsInf,
+// math.IsNaN), which the analyzer does not flag because they are calls, not
+// operators.
+//
+// The helper functions themselves are exempt: functions declared in a file
+// named floatcmp.go inside a package whose import path ends in
+// "internal/core" or "internal/shortest" may use the raw operators. Further
+// exceptional functions can be granted with
+//
+//	-floatcmp.allow=pkg/path/suffix.FuncName,...
+//
+// but the intent is that the allowlist stays empty and call sites migrate
+// to helpers instead.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Analyzer is the floatcmp pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc:  "forbid ==/!=/switch on floating point values outside the epsilon helpers in internal/core",
+	Run:  run,
+}
+
+var allowFlag string
+
+func init() {
+	Analyzer.Flags.StringVar(&allowFlag, "allow", "",
+		"comma-separated pkg/path/suffix.FuncName entries exempt from the check")
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// helperPkg reports whether path is one of the packages allowed to host
+// raw-comparison helpers.
+func helperPkg(path string) bool {
+	for _, suf := range []string{"internal/core", "internal/shortest"} {
+		if path == suf || strings.HasSuffix(path, "/"+suf) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	allowed := make(map[string]bool)
+	for _, entry := range strings.Split(allowFlag, ",") {
+		if entry = strings.TrimSpace(entry); entry != "" {
+			allowed[entry] = true
+		}
+	}
+
+	exemptFn := func(fd *ast.FuncDecl) bool {
+		if fd == nil {
+			return false
+		}
+		pos := pass.Fset.Position(fd.Pos())
+		if helperPkg(pass.Pkg.Path()) && filepath.Base(pos.Filename) == "floatcmp.go" {
+			return true
+		}
+		return allowed[pass.Pkg.Path()+"."+fd.Name.Name]
+	}
+
+	enclosingFunc := func(file *ast.File, pos token.Pos) *ast.FuncDecl {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Pos() <= pos && pos < fd.End() {
+				return fd
+			}
+		}
+		return nil
+	}
+
+	for _, file := range pass.Files {
+		pos := pass.Fset.Position(file.Pos())
+		if strings.HasSuffix(pos.Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				tx, ty := pass.TypesInfo.TypeOf(n.X), pass.TypesInfo.TypeOf(n.Y)
+				if tx == nil || ty == nil || (!isFloat(tx) && !isFloat(ty)) {
+					return true
+				}
+				if exemptFn(enclosingFunc(file, n.Pos())) {
+					return true
+				}
+				pass.Reportf(n.OpPos, "raw %s on float values; use an epsilon helper from internal/core (SameDist, ApproxDistEq, ...) or math.IsInf/IsNaN", n.Op)
+			case *ast.SwitchStmt:
+				if n.Tag == nil {
+					return true
+				}
+				if t := pass.TypesInfo.TypeOf(n.Tag); t != nil && isFloat(t) {
+					if exemptFn(enclosingFunc(file, n.Pos())) {
+						return true
+					}
+					pass.Reportf(n.Switch, "switch on a float value compares with raw ==; use explicit epsilon-helper comparisons")
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,19 @@
+package floatcmp_test
+
+import (
+	"testing"
+
+	"pathsep/internal/analyzers/analyzertest"
+	"pathsep/internal/analyzers/floatcmp"
+)
+
+// TestFloatCmp checks diagnostics in an ordinary package.
+func TestFloatCmp(t *testing.T) {
+	analyzertest.Run(t, "testdata", floatcmp.Analyzer, "a")
+}
+
+// TestHelperFileExempt checks that internal/core/floatcmp.go is exempt
+// while sibling files in the same package are not.
+func TestHelperFileExempt(t *testing.T) {
+	analyzertest.Run(t, "testdata", floatcmp.Analyzer, "pathsep/internal/core")
+}

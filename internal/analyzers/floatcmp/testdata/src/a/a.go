@@ -1,0 +1,28 @@
+// Package a exercises the floatcmp analyzer outside the helper packages.
+package a
+
+func bad(a, b float64) bool {
+	return a == b // want "raw == on float"
+}
+
+func badNeq(a float64) bool {
+	return a != 0 // want "raw != on float"
+}
+
+func badSwitch(x float64) int {
+	switch x { // want "switch on a float"
+	case 1:
+		return 1
+	}
+	return 0
+}
+
+func badFloat32(a, b float32) bool {
+	return a == b // want "raw == on float"
+}
+
+// Ordering comparisons are fine: only exact equality is brittle.
+func goodLess(a, b float64) bool { return a < b }
+
+// Integer equality is fine.
+func goodInt(a, b int) bool { return a == b }

@@ -1,0 +1,10 @@
+// Stub mirroring the real helper home: exact comparisons are allowed
+// here and nowhere else in the package.
+package core
+
+// SameDist lives in internal/core/floatcmp.go, the designated helper
+// file, so its exact comparison is exempt.
+func SameDist(a, b float64) bool { return a == b }
+
+// IsZeroDist is exempt for the same reason.
+func IsZeroDist(d float64) bool { return d == 0 }

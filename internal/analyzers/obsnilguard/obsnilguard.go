@@ -1,0 +1,300 @@
+// Package obsnilguard enforces the zero-cost-when-disabled contract of the
+// obs package: every handle handed out by a nil *Registry is itself nil, and
+// the whole instrumentation layer stays a no-op only if
+//
+//  1. every exported pointer-receiver method on a handle type either begins
+//     with a nil-receiver guard or touches the receiver exclusively through
+//     other (nil-safe) methods of the same handle, and
+//  2. no call site ever copies a handle struct by value — handles embed
+//     atomics and mutexes, and a copy both tears the state and silently
+//     stops reporting into the registry.
+//
+// Handle types are discovered, not hardcoded: every named struct type in a
+// package whose import path ends in "internal/obs" that declares at least
+// one exported pointer-receiver method is a handle (Counter, Gauge,
+// Histogram, Registry, Trace today). Value types like Span, whose methods
+// use value receivers by design, are exempt automatically.
+package obsnilguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Analyzer is the obsnilguard pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "obsnilguard",
+	Doc:      "check that obs handle methods are nil-safe and handles are never copied by value",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+const obsSuffix = "internal/obs"
+
+func isObsPkg(p *types.Package) bool {
+	if p == nil {
+		return false
+	}
+	return p.Path() == obsSuffix || strings.HasSuffix(p.Path(), "/"+obsSuffix)
+}
+
+// handleTypes returns the named handle struct types declared in p.
+func handleTypes(p *types.Package) map[*types.Named]bool {
+	out := make(map[*types.Named]bool)
+	scope := p.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, ok := named.Underlying().(*types.Struct); !ok {
+			continue
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			m := named.Method(i)
+			if !m.Exported() {
+				continue
+			}
+			if recv := m.Type().(*types.Signature).Recv(); recv != nil {
+				if _, ptr := recv.Type().(*types.Pointer); ptr {
+					out[named] = true
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// Collect handle types from this package (if it is obs) and from every
+	// imported obs package.
+	handles := make(map[*types.Named]bool)
+	if isObsPkg(pass.Pkg) {
+		for n := range handleTypes(pass.Pkg) {
+			handles[n] = true
+		}
+	}
+	for _, imp := range pass.Pkg.Imports() {
+		if isObsPkg(imp) {
+			for n := range handleTypes(imp) {
+				handles[n] = true
+			}
+		}
+	}
+	if len(handles) == 0 {
+		return nil, nil
+	}
+
+	isHandle := func(t types.Type) bool {
+		n, ok := t.(*types.Named)
+		return ok && handles[n]
+	}
+
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	if isObsPkg(pass.Pkg) {
+		checkMethods(pass, ins, isHandle)
+	}
+	checkCopies(pass, ins, isHandle)
+	return nil, nil
+}
+
+// checkMethods enforces rule 1 on exported pointer-receiver methods of
+// handle types declared in the obs package itself.
+func checkMethods(pass *analysis.Pass, ins *inspector.Inspector, isHandle func(types.Type) bool) {
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
+			return
+		}
+		if len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+			return
+		}
+		recvIdent := fd.Recv.List[0].Names[0]
+		recvObj := pass.TypesInfo.Defs[recvIdent]
+		if recvObj == nil {
+			return
+		}
+		ptr, ok := recvObj.Type().(*types.Pointer)
+		if !ok || !isHandle(ptr.Elem()) {
+			return
+		}
+		if firstStmtIsNilGuard(pass, fd.Body, recvObj) {
+			return
+		}
+		// No leading guard: every receiver use must be a nil-safe one — a
+		// method call on the receiver or a comparison against nil.
+		if bad := firstUnsafeUse(pass, fd, recvObj); bad != nil {
+			pass.Reportf(bad.Pos(),
+				"exported obs handle method %s.%s must begin with a nil-receiver guard (receiver %s is dereferenced without one)",
+				ptr.Elem().(*types.Named).Obj().Name(), fd.Name.Name, recvIdent.Name)
+		}
+	})
+}
+
+// firstStmtIsNilGuard reports whether the body's first statement is
+// `if recv == nil { ... }`, possibly with further || disjuncts
+// (`if t == nil || id < 0 { return }`).
+func firstStmtIsNilGuard(pass *analysis.Pass, body *ast.BlockStmt, recv types.Object) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifs, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	var hasNilDisjunct func(e ast.Expr) bool
+	hasNilDisjunct = func(e ast.Expr) bool {
+		bin, ok := e.(*ast.BinaryExpr)
+		if !ok {
+			return false
+		}
+		switch bin.Op {
+		case token.LOR:
+			return hasNilDisjunct(bin.X) || hasNilDisjunct(bin.Y)
+		case token.EQL:
+			return isRecvNilCmp(pass, bin, recv)
+		}
+		return false
+	}
+	return hasNilDisjunct(ifs.Cond)
+}
+
+func isRecvNilCmp(pass *analysis.Pass, bin *ast.BinaryExpr, recv types.Object) bool {
+	isRecv := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && pass.TypesInfo.Uses[id] == recv
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return (isRecv(bin.X) && isNil(bin.Y)) || (isNil(bin.X) && isRecv(bin.Y))
+}
+
+// firstUnsafeUse returns the first use of recv in fd's body that is not a
+// method call on recv and not a comparison of recv against nil.
+func firstUnsafeUse(pass *analysis.Pass, fd *ast.FuncDecl, recv types.Object) ast.Node {
+	var bad ast.Node
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == recv && bad == nil {
+			if !safeUse(pass, stack) {
+				bad = id
+			}
+		}
+		return true
+	})
+	return bad
+}
+
+// safeUse decides whether the receiver use on top of the ancestor stack is
+// nil-safe: `recv.Method(...)` or `recv ==/!= nil`.
+func safeUse(pass *analysis.Pass, stack []ast.Node) bool {
+	// stack[len-1] is the receiver ident.
+	if len(stack) < 2 {
+		return false
+	}
+	switch parent := stack[len(stack)-2].(type) {
+	case *ast.SelectorExpr:
+		sel := pass.TypesInfo.Selections[parent]
+		if sel == nil || sel.Kind() != types.MethodVal {
+			return false // field access
+		}
+		// The selector must be immediately called, not bound.
+		if len(stack) < 3 {
+			return false
+		}
+		call, ok := stack[len(stack)-3].(*ast.CallExpr)
+		return ok && call.Fun == parent
+	case *ast.BinaryExpr:
+		if parent.Op != token.EQL && parent.Op != token.NEQ {
+			return false
+		}
+		other := parent.X
+		if other == stack[len(stack)-1] {
+			other = parent.Y
+		}
+		id, ok := other.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return false
+}
+
+// checkCopies enforces rule 2: no by-value declarations or dereferences of
+// handle types anywhere.
+func checkCopies(pass *analysis.Pass, ins *inspector.Inspector, isHandle func(types.Type) bool) {
+	// containsHandle reports whether t embeds a handle by value (so that a
+	// copy of t copies the handle).
+	var containsHandle func(t types.Type, depth int) bool
+	containsHandle = func(t types.Type, depth int) bool {
+		if depth > 8 {
+			return false
+		}
+		if isHandle(t) {
+			return true
+		}
+		switch u := t.Underlying().(type) {
+		case *types.Slice:
+			return containsHandle(u.Elem(), depth+1)
+		case *types.Array:
+			return containsHandle(u.Elem(), depth+1)
+		case *types.Map:
+			return containsHandle(u.Elem(), depth+1) || containsHandle(u.Key(), depth+1)
+		case *types.Chan:
+			return containsHandle(u.Elem(), depth+1)
+		}
+		return false
+	}
+
+	report := func(pos token.Pos, what string, t types.Type) {
+		pass.Reportf(pos, "%s copies obs handle type %s by value; obs handles must be passed as pointers (a copy tears atomics and detaches from the registry)", what, types.TypeString(t, types.RelativeTo(pass.Pkg)))
+	}
+
+	nodeTypes := []ast.Node{
+		(*ast.StarExpr)(nil),
+		(*ast.Field)(nil),
+		(*ast.ValueSpec)(nil),
+	}
+	ins.Preorder(nodeTypes, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.StarExpr:
+			// Dereference producing a handle value. Skip type expressions
+			// (*obs.Counter as a type is a StarExpr too).
+			tv, ok := pass.TypesInfo.Types[n]
+			if ok && tv.IsValue() && isHandle(tv.Type) {
+				report(n.Pos(), "dereference", tv.Type)
+			}
+		case *ast.Field:
+			if n.Type == nil {
+				return
+			}
+			if t := pass.TypesInfo.TypeOf(n.Type); t != nil && containsHandle(t, 0) {
+				report(n.Type.Pos(), "declaration", t)
+			}
+		case *ast.ValueSpec:
+			if n.Type == nil {
+				return
+			}
+			if t := pass.TypesInfo.TypeOf(n.Type); t != nil && containsHandle(t, 0) {
+				report(n.Type.Pos(), "declaration", t)
+			}
+		}
+	})
+}

@@ -1,0 +1,20 @@
+package obsnilguard_test
+
+import (
+	"testing"
+
+	"pathsep/internal/analyzers/analyzertest"
+	"pathsep/internal/analyzers/obsnilguard"
+)
+
+// TestObsPackageMethods checks the nil-guard rule inside the (stubbed)
+// obs package itself.
+func TestObsPackageMethods(t *testing.T) {
+	analyzertest.Run(t, "testdata", obsnilguard.Analyzer, "pathsep/internal/obs")
+}
+
+// TestHandleCopies checks the no-value-copies rule from a consumer
+// package.
+func TestHandleCopies(t *testing.T) {
+	analyzertest.Run(t, "testdata", obsnilguard.Analyzer, "a")
+}

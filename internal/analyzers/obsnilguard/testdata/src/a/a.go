@@ -1,0 +1,35 @@
+// Package a exercises the handle-copy rule of obsnilguard from a consumer
+// package.
+package a
+
+import "pathsep/internal/obs"
+
+// Pointer declarations and method calls are fine.
+func good(c *obs.Counter) {
+	c.Add(1)
+	c.Inc()
+}
+
+type okHolder struct {
+	c *obs.Counter
+}
+
+// Value declarations copy the handle.
+var global obs.Counter // want "copies obs handle type"
+
+type badHolder struct {
+	c obs.Counter // want "copies obs handle type"
+}
+
+type badSlice struct {
+	cs []obs.Counter // want "copies obs handle type"
+}
+
+// Value parameters and results copy the handle.
+func badParam(c obs.Counter) {} // want "copies obs handle type"
+
+// Dereferencing a handle pointer copies it.
+func badDeref(c *obs.Counter) {
+	x := *c // want "dereference copies obs handle type"
+	_ = x
+}

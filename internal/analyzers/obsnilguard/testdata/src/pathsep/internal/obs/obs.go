@@ -1,0 +1,61 @@
+// Stub of the real pathsep/internal/obs package: same import path, same
+// handle shape, no atomics — just enough surface for obsnilguard tests.
+package obs
+
+// Counter is a handle type (exported pointer-receiver methods).
+type Counter struct{ v int64 }
+
+// Add is nil-safe: leading guard.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// Inc is nil-safe by delegation: the receiver is only used to call
+// another method.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value uses a compound guard condition, still leading.
+func (c *Counter) Value() int64 {
+	if c == nil || false {
+		return 0
+	}
+	return c.v
+}
+
+// Bad dereferences the receiver without any guard.
+func (c *Counter) Bad() int64 {
+	return c.v // want "must begin with a nil-receiver guard"
+}
+
+// BadLateGuard guards only after touching a field.
+func (c *Counter) BadLateGuard() int64 {
+	v := c.v // want "must begin with a nil-receiver guard"
+	if c == nil {
+		return 0
+	}
+	return v
+}
+
+// Registry is a handle type too.
+type Registry struct{ counters map[string]*Counter }
+
+// Counter is nil-safe.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.counters[name]
+}
+
+// Span is a value type by design (value receivers only) — not a handle,
+// so it is never flagged.
+type Span struct{ h *Counter }
+
+// End is a value-receiver method on a non-handle type.
+func (s Span) End() { s.h.Add(1) }
+
+// private methods are not checked.
+func (c *Counter) peek() int64 { return c.v }

@@ -1,0 +1,119 @@
+// Package seededrand enforces reproducible randomness: every experiment in
+// EXPERIMENTS.md must be re-runnable bit-for-bit from a -seed flag, so
+// library code may only draw random numbers from an injected *rand.Rand.
+//
+// The analyzer forbids
+//
+//   - calls to the ambient top-level functions of math/rand and
+//     math/rand/v2 (rand.Intn, rand.Float64, rand.Shuffle, ...), which use
+//     the process-global, unseedable-per-call-site source,
+//   - the deprecated global rand.Seed, and
+//   - seeding any source from the clock (a time.Now() call anywhere inside
+//     the arguments of rand.NewSource / rand.New / rand.NewPCG / rand.Seed),
+//     which silently breaks reproducibility even when a *rand.Rand is
+//     plumbed correctly.
+//
+// Constructing generators with rand.New(rand.NewSource(seed)) from an
+// explicit seed remains allowed everywhere, including tests and main
+// packages.
+package seededrand
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Analyzer is the seededrand pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "seededrand",
+	Doc:      "forbid ambient math/rand functions and time-derived RNG seeds; require an injected seeded *rand.Rand",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// ctors are the math/rand functions that build a generator or source from
+// an explicit seed; they are allowed (their arguments are still checked for
+// clock-derived seeds).
+var ctors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func isRandPkg(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	// Nested ctors (rand.New(rand.NewSource(...))) would report the same
+	// clock call once per enclosing ctor; dedupe by position.
+	reportedClock := map[token.Pos]bool{}
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || !isRandPkg(fn.Pkg().Path()) {
+			return
+		}
+		// Package-level function (not a method on *rand.Rand)?
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			return
+		}
+		name := fn.Name()
+		switch {
+		case name == "Seed":
+			pass.Reportf(call.Pos(), "global rand.Seed breaks per-call-site reproducibility; inject a seeded *rand.Rand instead")
+		case ctors[name]:
+			if clock := findClockCall(pass, call.Args); clock != nil && !reportedClock[clock.Pos()] {
+				reportedClock[clock.Pos()] = true
+				pass.Reportf(clock.Pos(), "RNG seeded from the clock is not reproducible; derive the seed from a -seed flag or test constant")
+			}
+		default:
+			pass.Reportf(call.Pos(), "ambient %s.%s uses the process-global source; draw from an injected seeded *rand.Rand instead", fn.Pkg().Name(), name)
+		}
+	})
+	return nil, nil
+}
+
+// findClockCall returns the first time.Now (or time.Since) call appearing
+// anywhere inside args, or nil.
+func findClockCall(pass *analysis.Pass, args []ast.Expr) ast.Node {
+	var found ast.Node
+	for _, a := range args {
+		ast.Inspect(a, func(n ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if ok && fn.Pkg() != nil && fn.Pkg().Path() == "time" &&
+				(fn.Name() == "Now" || fn.Name() == "Since") {
+				found = call
+				return false
+			}
+			return true
+		})
+		if found != nil {
+			break
+		}
+	}
+	return found
+}

@@ -1,0 +1,12 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"pathsep/internal/analyzers/analyzertest"
+	"pathsep/internal/analyzers/seededrand"
+)
+
+func TestSeededRand(t *testing.T) {
+	analyzertest.Run(t, "testdata", seededrand.Analyzer, "a")
+}

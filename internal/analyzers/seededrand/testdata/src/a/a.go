@@ -1,0 +1,36 @@
+// Package a exercises the seededrand analyzer.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Ambient package-level randomness is forbidden.
+func bad() int {
+	return rand.Intn(10) // want "ambient rand"
+}
+
+func badFloat() float64 {
+	return rand.Float64() // want "ambient rand"
+}
+
+// Clock-derived seeds destroy reproducibility.
+func badClockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "seeded from the clock"
+}
+
+// Mutating the global generator is forbidden.
+func badGlobalSeed() {
+	rand.Seed(42) // want "rand.Seed"
+}
+
+// Methods on an injected *rand.Rand are the sanctioned pattern.
+func good(rng *rand.Rand) int {
+	return rng.Intn(10)
+}
+
+// Constructing a generator from a fixed seed is fine.
+func goodCtor(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,157 @@
+// Package subgraphmut protects the shared-view invariant of the graph
+// package: Graph.Neighbors returns the adjacency slice itself, and
+// graph.Induced subgraph views alias the same backing arrays, so the
+// decomposition pipeline (core.Decompose and everything above it) may read
+// but never write adjacency storage. A single write corrupts every view of
+// the graph at once — including ones held by a concurrent query.
+//
+// The analyzer flags, in every package except internal/graph itself:
+//
+//   - assignments and ++/-- through an element of a []graph.Half (or a
+//     replacement of a whole row in a [][]graph.Half),
+//   - writes to fields of a graph.Half lvalue (h.W = ..., h.To = ...)
+//     when the Half is addressed through shared storage, and
+//   - in-place reordering of a []graph.Half via sort.Slice, sort.Stable,
+//     slices.Sort* or slices.Reverse.
+//
+// Code that needs a mutable copy must build one explicitly (Reweighted, a
+// Builder, or an owned []Half copied element by element from ints/floats).
+package subgraphmut
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Analyzer is the subgraphmut pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "subgraphmut",
+	Doc:      "forbid mutation of shared graph adjacency storage ([]graph.Half) outside internal/graph",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+const graphSuffix = "internal/graph"
+
+func isGraphPkg(path string) bool {
+	return path == graphSuffix || strings.HasSuffix(path, "/"+graphSuffix)
+}
+
+// isHalf reports whether t is the named type Half from internal/graph.
+func isHalf(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Half" && obj.Pkg() != nil && isGraphPkg(obj.Pkg().Path())
+}
+
+// isHalfSlice reports whether t is []Half, and halfMatrix whether it is
+// [][]Half.
+func isHalfSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	return ok && isHalf(s.Elem())
+}
+
+func isHalfMatrix(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	return ok && isHalfSlice(s.Elem())
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if isGraphPkg(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// sharedWrite reports whether assigning through lhs mutates adjacency
+	// storage.
+	sharedWrite := func(lhs ast.Expr) bool {
+		switch e := lhs.(type) {
+		case *ast.IndexExpr:
+			t := pass.TypesInfo.TypeOf(e.X)
+			return t != nil && (isHalfSlice(t) || isHalfMatrix(t))
+		case *ast.SelectorExpr:
+			// Field write h.W / h.To where h is a Half (or *Half) element.
+			t := pass.TypesInfo.TypeOf(e.X)
+			if t == nil {
+				return false
+			}
+			if p, ok := t.Underlying().(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			return isHalf(t)
+		case *ast.StarExpr:
+			t := pass.TypesInfo.TypeOf(e)
+			return t != nil && (isHalf(t) || isHalfSlice(t))
+		}
+		return false
+	}
+
+	report := func(n ast.Node) {
+		pass.Reportf(n.Pos(), "mutation of shared graph adjacency storage outside internal/graph; subgraph views alias the base graph — build an owned copy (Reweighted, Builder) instead")
+	}
+
+	nodeTypes := []ast.Node{
+		(*ast.AssignStmt)(nil),
+		(*ast.IncDecStmt)(nil),
+		(*ast.CallExpr)(nil),
+	}
+	ins.Preorder(nodeTypes, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if sharedWrite(lhs) {
+					report(lhs)
+				}
+			}
+		case *ast.IncDecStmt:
+			if sharedWrite(n.X) {
+				report(n.X)
+			}
+		case *ast.CallExpr:
+			fn, ok := typeutilCallee(pass, n)
+			if !ok {
+				return
+			}
+			full := fn.Pkg().Path() + "." + fn.Name()
+			switch full {
+			case "sort.Slice", "sort.SliceStable", "sort.Stable", "sort.Sort",
+				"slices.Sort", "slices.SortFunc", "slices.SortStableFunc", "slices.Reverse":
+				if len(n.Args) > 0 {
+					if t := pass.TypesInfo.TypeOf(n.Args[0]); t != nil && isHalfSlice(t) {
+						report(n)
+					}
+				}
+			}
+		}
+	})
+	return nil, nil
+}
+
+// typeutilCallee resolves the package-level function called by call, if any.
+func typeutilCallee(pass *analysis.Pass, call *ast.CallExpr) (*types.Func, bool) {
+	var id *ast.Ident
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return nil, false
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil, false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil, false
+	}
+	return fn, true
+}

@@ -1,0 +1,20 @@
+package subgraphmut_test
+
+import (
+	"testing"
+
+	"pathsep/internal/analyzers/analyzertest"
+	"pathsep/internal/analyzers/subgraphmut"
+)
+
+// TestConsumerMutations checks diagnostics in a package that aliases
+// graph adjacency.
+func TestConsumerMutations(t *testing.T) {
+	analyzertest.Run(t, "testdata", subgraphmut.Analyzer, "a")
+}
+
+// TestGraphPackageExempt checks that internal/graph itself, which owns
+// the storage, is never flagged.
+func TestGraphPackageExempt(t *testing.T) {
+	analyzertest.Run(t, "testdata", subgraphmut.Analyzer, "pathsep/internal/graph")
+}

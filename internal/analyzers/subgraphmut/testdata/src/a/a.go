@@ -1,0 +1,39 @@
+// Package a exercises the subgraphmut analyzer from a consumer package.
+package a
+
+import (
+	"sort"
+
+	"pathsep/internal/graph"
+)
+
+func bad(g *graph.Graph) {
+	ns := g.Neighbors(0)
+	ns[0].W = 2.5          // want "mutation of shared graph adjacency"
+	ns[1] = graph.Half{}   // want "mutation of shared graph adjacency"
+	ns[0].To++             // want "mutation of shared graph adjacency"
+	g.Adj()[1] = nil       // want "mutation of shared graph adjacency"
+	sort.Slice(ns, func(i, j int) bool { // want "mutation of shared graph adjacency"
+		return ns[i].W < ns[j].W
+	})
+}
+
+// Reading adjacency is fine.
+func good(g *graph.Graph) float64 {
+	total := 0.0
+	for _, h := range g.Neighbors(0) {
+		total += h.W
+	}
+	return total
+}
+
+// Building fresh Half values (rather than writing into an existing
+// slice) is fine; the analyzer has no ownership tracking by design, so
+// owned mutable copies must be built inside internal/graph.
+func goodBuild(g *graph.Graph) []graph.Half {
+	var own []graph.Half
+	for _, h := range g.Neighbors(0) {
+		own = append(own, graph.Half{To: h.To, W: h.W * 2})
+	}
+	return own
+}

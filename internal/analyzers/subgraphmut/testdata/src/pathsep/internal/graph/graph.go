@@ -1,0 +1,26 @@
+// Stub of the real pathsep/internal/graph package: just the Half type and
+// a Graph exposing shared adjacency, enough for subgraphmut tests.
+package graph
+
+// Half is a half-edge: destination and weight.
+type Half struct {
+	To int
+	W  float64
+}
+
+// Graph owns shared adjacency storage that subgraph views alias.
+type Graph struct{ adj [][]Half }
+
+// Neighbors returns the shared adjacency slice for v.
+func (g *Graph) Neighbors(v int) []Half { return g.adj[v] }
+
+// Adj returns the whole adjacency structure.
+func (g *Graph) Adj() [][]Half { return g.adj }
+
+// reweight mutates adjacency but lives inside internal/graph, where
+// ownership is established — never flagged.
+func (g *Graph) reweight(v int, w float64) {
+	for i := range g.adj[v] {
+		g.adj[v][i].W = w
+	}
+}

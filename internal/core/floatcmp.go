@@ -1,0 +1,41 @@
+// Float comparison helpers — the only place in the library where raw ==
+// and != on float64 are permitted (enforced by the floatcmp analyzer in
+// internal/analyzers; see DESIGN.md, "Static analysis").
+//
+// Distances in this library are sums of edge weights accumulated along
+// different computation paths, so mathematical equality does not imply
+// bit equality, and the oracle/routing guarantees are only (1+ε). Forcing
+// every comparison through a named helper makes the intended semantics —
+// exact same-provenance identity vs. epsilon tolerance — explicit at the
+// call site.
+
+package core
+
+import "math"
+
+// SameDist reports exact (bit-level, modulo -0 == 0) equality of two
+// distances. Use it only when both values have the same provenance — one
+// was copied from the other, or both were produced by the very same
+// computation — so that exact equality is meaningful. For values from
+// different computations use ApproxDistEq.
+func SameDist(a, b float64) bool { return a == b }
+
+// IsZeroDist reports whether d is exactly zero, the "same vertex /
+// degenerate" sentinel used by distance code. Edge weights are clamped
+// non-negative, so a zero sum means every hop was exactly zero.
+func IsZeroDist(d float64) bool { return d == 0 }
+
+// ApproxDistEq reports |a-b| <= eps * max(1, |a|, |b|): equality up to a
+// relative tolerance eps, with an absolute floor of eps near zero.
+// Infinities of the same sign compare equal.
+func ApproxDistEq(a, b, eps float64) bool {
+	if a == b {
+		return true // covers equal infinities and exact hits
+	}
+	m := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= eps*m
+}
+
+// WithinFactor reports a <= factor*b, the one-sided (1+ε)-style bound used
+// to audit approximation guarantees. NaNs never satisfy it.
+func WithinFactor(a, b, factor float64) bool { return a <= factor*b }

@@ -43,7 +43,7 @@ func sampledStretch(g *graph.Graph, query func(u, v int) float64, pairs int, rng
 		u := rng.Intn(g.N())
 		tr := shortest.Dijkstra(g, u)
 		v := rng.Intn(g.N())
-		if u == v || math.IsInf(tr.Dist[v], 1) || tr.Dist[v] == 0 {
+		if u == v || math.IsInf(tr.Dist[v], 1) || core.IsZeroDist(tr.Dist[v]) {
 			continue
 		}
 		ratio := query(u, v) / tr.Dist[v]

@@ -1,6 +1,10 @@
 package exp
 
-import "math"
+import (
+	"math"
+
+	"pathsep/internal/core"
+)
 
 // FitExponent estimates b in y ≈ a·x^b by least squares on (log x, log y):
 // the growth-exponent summary the experiment tables report for the
@@ -24,7 +28,7 @@ func FitExponent(xs, ys []float64) float64 {
 		return math.NaN()
 	}
 	den := float64(n)*sxx - sx*sx
-	if den == 0 {
+	if core.IsZeroDist(den) {
 		return math.NaN()
 	}
 	return (float64(n)*sxy - sx*sy) / den

@@ -33,9 +33,25 @@ func (t *Table) AddRow(cells ...interface{}) {
 	t.Rows = append(t.Rows, row)
 }
 
-// Fprint writes the table with aligned columns.
-func (t *Table) Fprint(w io.Writer) {
-	fmt.Fprintf(w, "== %s ==\n", t.Title)
+// printer accumulates the first write error so formatting code stays
+// linear instead of checking every Fprintf.
+type printer struct {
+	w   io.Writer
+	err error
+}
+
+func (p *printer) printf(format string, args ...interface{}) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// Fprint writes the table with aligned columns, returning the first write
+// error.
+func (t *Table) Fprint(w io.Writer) error {
+	p := &printer{w: w}
+	p.printf("== %s ==\n", t.Title)
 	widths := make([]int, len(t.Columns))
 	for i, c := range t.Columns {
 		widths[i] = len(c)
@@ -56,7 +72,7 @@ func (t *Table) Fprint(w io.Writer) {
 				parts[i] = c
 			}
 		}
-		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+		p.printf("  %s\n", strings.Join(parts, "  "))
 	}
 	printRow(t.Columns)
 	sep := make([]string, len(t.Columns))
@@ -68,14 +84,15 @@ func (t *Table) Fprint(w io.Writer) {
 		printRow(row)
 	}
 	for _, n := range t.Notes {
-		fmt.Fprintf(w, "  note: %s\n", n)
+		p.printf("  note: %s\n", n)
 	}
-	fmt.Fprintln(w)
+	p.printf("\n")
+	return p.err
 }
 
 // String renders the table.
 func (t *Table) String() string {
 	var b strings.Builder
-	t.Fprint(&b)
+	_ = t.Fprint(&b) // strings.Builder writes cannot fail
 	return b.String()
 }

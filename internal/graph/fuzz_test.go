@@ -1,0 +1,79 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// fuzzHeaderN extracts the vertex count from the first "p" record, or -1.
+// The fuzzer uses it to skip inputs whose header demands an allocation far
+// larger than the input itself (legal, but pointless to explore).
+func fuzzHeaderN(data []byte) int {
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(strings.TrimSpace(line))
+		if len(fields) == 3 && fields[0] == "p" {
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return -1
+			}
+			return n
+		}
+	}
+	return -1
+}
+
+// FuzzGraphIO feeds arbitrary text to Read. Whatever parses must be a
+// fixed point of WriteText∘Read: writing and re-reading yields the exact
+// same serialization.
+func FuzzGraphIO(f *testing.F) {
+	// Valid corpus: the shapes the deterministic tests exercise.
+	f.Add([]byte("p 3 2\ne 0 1 1.5\ne 1 2 2.5\n"))
+	f.Add([]byte("# comment\nc another\n\np 3 2\ne 0 1 1.5\ne 1 2 2.5\n"))
+	f.Add([]byte("p 1 0\n"))
+	rng := rand.New(rand.NewSource(1))
+	g := ConnectedGNM(12, 24, UniformWeights(0.5, 9), rng)
+	var buf bytes.Buffer
+	if err := g.WriteText(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	// Malformed corpus: every error class Read distinguishes.
+	f.Add([]byte(""))
+	f.Add([]byte("e 0 1 2\n"))
+	f.Add([]byte("p x 2\n"))
+	f.Add([]byte("p -3 0\n"))
+	f.Add([]byte("p 3 1\ne -1 1 2\n"))
+	f.Add([]byte("p 3 1\np 3 1\n"))
+	f.Add([]byte("p 3 1\ne 0 1 oops\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		if n := fuzzHeaderN(data); n > 1<<15 {
+			return
+		}
+		g, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var w1 bytes.Buffer
+		if err := g.WriteText(&w1); err != nil {
+			t.Fatalf("WriteText after successful Read: %v", err)
+		}
+		g2, err := Read(bytes.NewReader(w1.Bytes()))
+		if err != nil {
+			t.Fatalf("re-Read of own output: %v\n%s", err, w1.Bytes())
+		}
+		var w2 bytes.Buffer
+		if err := g2.WriteText(&w2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+			t.Fatalf("round trip not a fixed point:\n%s\nvs\n%s", w1.Bytes(), w2.Bytes())
+		}
+	})
+}

@@ -49,12 +49,18 @@ func Read(r io.Reader) (*Graph, error) {
 		fields := strings.Fields(text)
 		switch fields[0] {
 		case "p":
+			if b != nil {
+				return nil, fmt.Errorf("graph: line %d: duplicate header", line)
+			}
 			if len(fields) != 3 {
 				return nil, fmt.Errorf("graph: line %d: bad header %q", line, text)
 			}
 			n, err := strconv.Atoi(fields[1])
 			if err != nil {
 				return nil, fmt.Errorf("graph: line %d: %w", line, err)
+			}
+			if n < 0 {
+				return nil, fmt.Errorf("graph: line %d: negative vertex count %d", line, n)
 			}
 			b = NewBuilder(n)
 		case "e":
@@ -69,6 +75,9 @@ func Read(r io.Reader) (*Graph, error) {
 			wt, err3 := strconv.ParseFloat(fields[3], 64)
 			if err1 != nil || err2 != nil || err3 != nil {
 				return nil, fmt.Errorf("graph: line %d: bad edge %q", line, text)
+			}
+			if u < 0 || v < 0 {
+				return nil, fmt.Errorf("graph: line %d: negative endpoint in %q", line, text)
 			}
 			b.AddEdge(u, v, wt)
 		default:

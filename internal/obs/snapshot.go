@@ -66,10 +66,10 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 // Snapshot returns a copy of every instrument's current state. A nil
 // registry yields the zero Snapshot.
 func (r *Registry) Snapshot() Snapshot {
-	s := Snapshot{}
 	if r == nil {
-		return s
+		return Snapshot{}
 	}
+	s := Snapshot{}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if len(r.counters) > 0 {

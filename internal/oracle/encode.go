@@ -35,7 +35,8 @@ func DecodeLabel(buf []byte) (*Label, error) {
 		return nil, fmt.Errorf("oracle: truncated label header")
 	}
 	buf = buf[n:]
-	if ne > uint64(len(buf)) {
+	// Each entry takes at least 4 bytes (node, phase, path, portal count).
+	if ne > uint64(len(buf))/4 {
 		return nil, fmt.Errorf("oracle: header claims %d entries in %d bytes", ne, len(buf))
 	}
 	prevNode := int64(0)
@@ -62,7 +63,15 @@ func DecodeLabel(buf []byte) (*Label, error) {
 			return nil, fmt.Errorf("oracle: truncated entry %d portal count", i)
 		}
 		buf = buf[n:]
+		// Each portal takes exactly 16 bytes; reject absurd counts before
+		// allocating.
+		if np > uint64(len(buf))/16 {
+			return nil, fmt.Errorf("oracle: entry %d claims %d portals in %d bytes", i, np, len(buf))
+		}
 		e := Entry{Key: Key{Node: int32(node), Phase: int16(phase), Path: int16(path)}}
+		if np > 0 {
+			e.Portals = make([]Portal, 0, np)
+		}
 		for j := uint64(0); j < np; j++ {
 			if len(buf) < 16 {
 				return nil, fmt.Errorf("oracle: truncated portal %d/%d", i, j)

@@ -227,7 +227,7 @@ func Build(t *core.Tree, opt Options) (*Oracle, error) {
 					}
 					for w := 0; w < j.N(); w++ {
 						src := trQ.Source[w]
-						if src < 0 || trQ.Dist[w] == 0 {
+						if src < 0 || core.IsZeroDist(trQ.Dist[w]) {
 							continue
 						}
 						add(rootID(w), k, Portal{Pos: posOf[src], Dist: trQ.Dist[w]})
@@ -238,7 +238,7 @@ func Build(t *core.Tree, opt Options) (*Oracle, error) {
 						tr := shortest.Dijkstra(j, info.verts[x])
 						col.Record(tr)
 						for w := 0; w < j.N(); w++ {
-							if math.IsInf(tr.Dist[w], 1) || tr.Dist[w] == 0 {
+							if math.IsInf(tr.Dist[w], 1) || core.IsZeroDist(tr.Dist[w]) {
 								continue
 							}
 							add(rootID(w), k, Portal{Pos: info.pos[x], Dist: tr.Dist[w]})
@@ -370,14 +370,14 @@ func normalizeLabel(l *Label) {
 	for i := range l.Entries {
 		ps := l.Entries[i].Portals
 		sort.Slice(ps, func(a, b int) bool {
-			if ps[a].Pos != ps[b].Pos {
+			if !core.SameDist(ps[a].Pos, ps[b].Pos) {
 				return ps[a].Pos < ps[b].Pos
 			}
 			return ps[a].Dist < ps[b].Dist
 		})
 		dedup := ps[:0]
 		for _, p := range ps {
-			if len(dedup) > 0 && dedup[len(dedup)-1].Pos == p.Pos {
+			if len(dedup) > 0 && core.SameDist(dedup[len(dedup)-1].Pos, p.Pos) {
 				continue // keep the smaller distance (sorted first)
 			}
 			dedup = append(dedup, p)
@@ -515,7 +515,7 @@ func (o *Oracle) Audit(g *graph.Graph, pairs int, next func(n int) int) AuditRes
 			continue
 		}
 		d := shortest.Dijkstra(g, u).Dist[v]
-		if math.IsInf(d, 1) || d == 0 {
+		if math.IsInf(d, 1) || core.IsZeroDist(d) {
 			continue
 		}
 		est := o.Query(u, v)

@@ -47,7 +47,9 @@ func DecodeAddr(buf []byte) (*Addr, error) {
 		return nil, fmt.Errorf("routing: truncated address header")
 	}
 	buf = buf[n:]
-	if ne > uint64(len(buf))+1 {
+	// Each entry takes at least 5 bytes (node, phase, path, flags, port
+	// count: one varint byte each).
+	if ne > uint64(len(buf))/5 {
 		return nil, fmt.Errorf("routing: header claims %d entries in %d bytes", ne, len(buf))
 	}
 	prevNode := int64(0)
@@ -98,8 +100,13 @@ func DecodeAddr(buf []byte) (*Addr, error) {
 			return nil, fmt.Errorf("routing: truncated entry %d port count", i)
 		}
 		buf = buf[n:]
-		if np > uint64(len(buf))+1 {
+		// Each port takes at least 10 bytes (idx varint, 8-byte dist, dfs
+		// varint); reject absurd counts before allocating.
+		if np > uint64(len(buf))/10 {
 			return nil, fmt.Errorf("routing: entry %d claims %d ports in %d bytes", i, np, len(buf))
+		}
+		if np > 0 {
+			e.Ports = make([]AddrPort, 0, np)
 		}
 		for j := uint64(0); j < np; j++ {
 			idx, n := binary.Uvarint(buf)

@@ -1,0 +1,47 @@
+package routing
+
+import (
+	"bytes"
+	"testing"
+
+	"pathsep/internal/oracle"
+)
+
+// fuzzSeedAddr covers the format's branches: attach present and absent,
+// empty and non-empty port lists, negative DFS sentinel.
+func fuzzSeedAddr() *Addr {
+	return &Addr{Entries: []AddrEntry{
+		{
+			Key: oracle.Key{Node: 5, Phase: 0, Path: 1}, HasAttach: true,
+			AttDist: 1.5, AttPos: 0.25, AttDFS: 7,
+			Ports: []AddrPort{{Idx: 0, Dist: 2.5, DFS: 3}, {Idx: 2, Dist: 0, DFS: -1}},
+		},
+		{Key: oracle.Key{Node: 1, Phase: 2, Path: 0}},
+	}}
+}
+
+// FuzzDecodeAddr feeds arbitrary bytes to DecodeAddr. Inputs that parse
+// must reach an Encode/Decode fixed point.
+func FuzzDecodeAddr(f *testing.F) {
+	f.Add(fuzzSeedAddr().Encode())
+	f.Add((&Addr{}).Encode())
+	buf := fuzzSeedAddr().Encode()
+	f.Add(buf[:len(buf)/2]) // truncated
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}) // absurd entry count
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := DecodeAddr(data)
+		if err != nil {
+			return
+		}
+		canon := a.Encode()
+		a2, err := DecodeAddr(canon)
+		if err != nil {
+			t.Fatalf("re-decode of own encoding failed: %v", err)
+		}
+		if !bytes.Equal(canon, a2.Encode()) {
+			t.Fatal("Encode/Decode is not a fixed point")
+		}
+	})
+}

@@ -626,7 +626,7 @@ func (r *Router) step(cur int, plan *routePlan, stage *int) int {
 			*stage = 1
 		}
 		if *stage == 1 {
-			if att.Pos != plan.targetPos {
+			if !core.SameDist(att.Pos, plan.targetPos) {
 				// Creep along the path toward the target attachment.
 				if plan.targetPos > att.Pos && att.NextHop >= 0 {
 					return int(att.NextHop)

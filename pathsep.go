@@ -365,3 +365,24 @@ type TreeLabeling = labeling.TreeLabeling
 func NewTreeLabeling(g *Graph) (*TreeLabeling, error) {
 	return labeling.BuildTree(g)
 }
+
+// Float comparison helpers (re-exported from internal/core). Distances
+// are float64 sums accumulated along different computation paths, so raw
+// == / != on them is forbidden throughout the library (enforced by the
+// floatcmp analyzer; see `make lint`). Use these named comparisons
+// instead.
+
+// SameDist reports exact equality of two distances; use only for values
+// with the same provenance (one copied from the other).
+func SameDist(a, b float64) bool { return core.SameDist(a, b) }
+
+// IsZeroDist reports whether a distance is exactly zero (the same-vertex
+// / degenerate sentinel).
+func IsZeroDist(d float64) bool { return core.IsZeroDist(d) }
+
+// ApproxDistEq reports equality up to relative tolerance eps.
+func ApproxDistEq(a, b, eps float64) bool { return core.ApproxDistEq(a, b, eps) }
+
+// WithinFactor reports a <= factor*b, the one-sided (1+ε)-style audit
+// bound.
+func WithinFactor(a, b, factor float64) bool { return core.WithinFactor(a, b, factor) }
