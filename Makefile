@@ -1,10 +1,11 @@
 # Tier-1+ verification for the pathsep repo.
 #
-#   make check      vet + lint + build + race tests + fuzz smoke + obs-overhead benchmark
+#   make check      vet + lint + build + race tests + fuzz smoke + obs-overhead + parallel-speedup gates
 #   make test       plain test run (the tier-1 gate)
 #   make lint       run the repo-specific analyzers (cmd/pathsep-lint) over ./...
 #   make fuzz-short short fuzz smoke of the graph/label/address decoders
 #   make bench-obs  regenerate BENCH_obs.json (metrics on vs. off numbers)
+#   make bench-parallel  parallel-build speedup gate (BENCH_parallel.json)
 
 GO ?= go
 FUZZTIME ?= 5s
@@ -12,9 +13,9 @@ FUZZTIME ?= 5s
 LINT_BIN := bin/pathsep-lint
 LINT_SRC := $(wildcard cmd/pathsep-lint/*.go internal/analyzers/*.go internal/analyzers/*/*.go)
 
-.PHONY: check test vet lint fuzz-short build race bench-overhead bench-obs
+.PHONY: check test vet lint fuzz-short build race bench-overhead bench-obs bench-parallel
 
-check: vet lint build race fuzz-short bench-overhead
+check: vet lint build race fuzz-short bench-overhead bench-parallel
 
 test:
 	$(GO) build ./...
@@ -51,3 +52,9 @@ bench-overhead:
 
 bench-obs:
 	EMIT_BENCH_OBS=1 $(GO) test -run TestEmitBenchObs -v .
+
+# The parallel-build gate: workers=N must beat workers=1 by >= 1.5x on the
+# 4k-vertex grid (ratio enforced only when GOMAXPROCS >= 2; the JSON
+# records gomaxprocs either way).
+bench-parallel:
+	BENCH_PARALLEL_GATE=1 $(GO) test -run TestParallelBuildSpeedupGate -v .

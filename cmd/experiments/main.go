@@ -19,9 +19,10 @@ func main() {
 	quick := flag.Bool("quick", false, "run reduced instance sizes")
 	seed := flag.Int64("seed", 1, "random seed")
 	only := flag.String("only", "", "run a single experiment (E1..E10)")
+	workers := flag.Int("workers", 0, "construction worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
-	cfg := exp.Config{Quick: *quick, Seed: *seed}
+	cfg := exp.Config{Quick: *quick, Seed: *seed, Workers: *workers}
 	type entry struct {
 		name string
 		run  func(exp.Config) *exp.Table

@@ -35,9 +35,16 @@ func main() {
 	queries := flag.Int("queries", 1000, "random queries to run")
 	audit := flag.Int("audit", 200, "queries to audit against Dijkstra")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "construction worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	metricsOut := flag.String("metrics", "", "write a metrics JSON snapshot to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /debug/vars on this address")
 	flag.Parse()
+
+	if !(*eps > 0) || math.IsInf(*eps, 1) {
+		fmt.Fprintf(os.Stderr, "oracle: -eps must be a positive finite number, got %v\n", *eps)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	var m oracle.Mode
 	switch *mode {
@@ -78,13 +85,13 @@ func main() {
 	}
 
 	start := time.Now()
-	dec, err := core.Decompose(g, core.Options{Strategy: core.Auto{}, Metrics: reg})
+	dec, err := core.Decompose(g, core.Options{Strategy: core.Auto{}, Metrics: reg, Workers: *workers})
 	if err != nil {
 		fail(err)
 	}
 	decTime := time.Since(start)
 	start = time.Now()
-	o, err := oracle.Build(dec, oracle.Options{Epsilon: *eps, Mode: m, Metrics: reg})
+	o, err := oracle.Build(dec, oracle.Options{Epsilon: *eps, Mode: m, Metrics: reg, Workers: *workers})
 	if err != nil {
 		fail(err)
 	}

@@ -27,6 +27,7 @@ func main() {
 	strategy := flag.String("strategy", "auto", "auto|tree|bag|greedy")
 	certify := flag.Bool("certify", false, "re-verify every separator against Definition 1")
 	traceFlag := flag.Bool("trace", false, "print the decomposition recursion as an indented tree")
+	workers := flag.Int("workers", 0, "construction worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	metricsOut := flag.String("metrics", "", "write a metrics JSON snapshot to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /debug/vars on this address")
 	flag.Parse()
@@ -76,7 +77,7 @@ func main() {
 	}
 
 	start := time.Now()
-	dec, err := core.Decompose(g, core.Options{Strategy: strat, Certify: *certify, Metrics: reg, Trace: trace})
+	dec, err := core.Decompose(g, core.Options{Strategy: strat, Certify: *certify, Metrics: reg, Trace: trace, Workers: *workers})
 	if err != nil {
 		fail(err)
 	}

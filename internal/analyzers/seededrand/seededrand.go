@@ -11,7 +11,12 @@
 //   - seeding any source from the clock (a time.Now() call anywhere inside
 //     the arguments of rand.NewSource / rand.New / rand.NewPCG / rand.Seed),
 //     which silently breaks reproducibility even when a *rand.Rand is
-//     plumbed correctly.
+//     plumbed correctly, and
+//   - ad-hoc generator splitting — seeding a source from another
+//     generator's draw, rand.New(rand.NewSource(rng.Int63())) — outside
+//     pathsep/internal/par. Sibling streams must come from par.SplitRand,
+//     which draws all child seeds serially from the parent BEFORE fanning
+//     out, so results cannot depend on worker scheduling.
 //
 // Constructing generators with rand.New(rand.NewSource(seed)) from an
 // explicit seed remains allowed everywhere, including tests and main
@@ -51,11 +56,20 @@ func isRandPkg(path string) bool {
 	return path == "math/rand" || path == "math/rand/v2"
 }
 
+// isSplitHome reports whether pkgPath is the sanctioned rand-splitting
+// package (the home of par.SplitRand); the bare "par" form is how the
+// analyzertest harness loads its stand-in.
+func isSplitHome(pkgPath string) bool {
+	return pkgPath == "pathsep/internal/par" || pkgPath == "par"
+}
+
 func run(pass *analysis.Pass) (interface{}, error) {
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 	// Nested ctors (rand.New(rand.NewSource(...))) would report the same
-	// clock call once per enclosing ctor; dedupe by position.
+	// clock call or generator draw once per enclosing ctor; dedupe by
+	// position.
 	reportedClock := map[token.Pos]bool{}
+	reportedSplit := map[token.Pos]bool{}
 	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
 		call := n.(*ast.CallExpr)
 		sel, ok := call.Fun.(*ast.SelectorExpr)
@@ -79,11 +93,63 @@ func run(pass *analysis.Pass) (interface{}, error) {
 				reportedClock[clock.Pos()] = true
 				pass.Reportf(clock.Pos(), "RNG seeded from the clock is not reproducible; derive the seed from a -seed flag or test constant")
 			}
+			if !isSplitHome(pass.Pkg.Path()) {
+				if split := findRandDraw(pass, call.Args); split != nil && !reportedSplit[split.Pos()] {
+					reportedSplit[split.Pos()] = true
+					pass.Reportf(split.Pos(), "ad-hoc RNG stream split (seeding a source from another generator's draw); use par.SplitRand so sibling streams stay deterministic under parallel construction")
+				}
+			}
 		default:
 			pass.Reportf(call.Pos(), "ambient %s.%s uses the process-global source; draw from an injected seeded *rand.Rand instead", fn.Pkg().Name(), name)
 		}
 	})
 	return nil, nil
+}
+
+// findRandDraw returns the first method call on a math/rand (or v2)
+// generator appearing anywhere inside args, or nil — the signature of an
+// ad-hoc stream split like rand.NewSource(rng.Int63()).
+func findRandDraw(pass *analysis.Pass, args []ast.Expr) ast.Node {
+	var found ast.Node
+	for _, a := range args {
+		ast.Inspect(a, func(n ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil {
+				return true
+			}
+			recv := sig.Recv().Type()
+			if p, ok := recv.(*types.Pointer); ok {
+				recv = p.Elem()
+			}
+			if named, ok := recv.(*types.Named); ok {
+				obj := named.Obj()
+				if obj.Pkg() != nil && isRandPkg(obj.Pkg().Path()) {
+					found = call
+					return false
+				}
+			}
+			return true
+		})
+		if found != nil {
+			break
+		}
+	}
+	return found
 }
 
 // findClockCall returns the first time.Now (or time.Since) call appearing

@@ -10,3 +10,9 @@ import (
 func TestSeededRand(t *testing.T) {
 	analyzertest.Run(t, "testdata", seededrand.Analyzer, "a")
 }
+
+func TestSeededRandSplitHome(t *testing.T) {
+	// The par stub seeds sources from parent draws with no want comments:
+	// the split rule must stay silent inside the sanctioned package.
+	analyzertest.Run(t, "testdata", seededrand.Analyzer, "par")
+}

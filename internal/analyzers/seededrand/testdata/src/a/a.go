@@ -34,3 +34,13 @@ func good(rng *rand.Rand) int {
 func goodCtor(seed int64) *rand.Rand {
 	return rand.New(rand.NewSource(seed))
 }
+
+// Ad-hoc stream splitting outside internal/par is forbidden: results then
+// depend on which goroutine draws from the parent first.
+func badSplit(rng *rand.Rand) *rand.Rand {
+	return rand.New(rand.NewSource(rng.Int63())) // want "ad-hoc RNG stream split"
+}
+
+func badSplitSource(rng *rand.Rand) rand.Source {
+	return rand.NewSource(rng.Int63()) // want "ad-hoc RNG stream split"
+}

@@ -1,0 +1,14 @@
+// Package par stands in for pathsep/internal/par: the one package allowed
+// to seed sources from another generator's draws (SplitRand draws all
+// child seeds serially before any fan-out).
+package par
+
+import "math/rand"
+
+func SplitRand(parent *rand.Rand, n int) []*rand.Rand {
+	out := make([]*rand.Rand, n)
+	for i := range out {
+		out[i] = rand.New(rand.NewSource(parent.Int63()))
+	}
+	return out
+}

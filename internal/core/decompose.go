@@ -7,6 +7,7 @@ import (
 	"pathsep/internal/embed"
 	"pathsep/internal/graph"
 	"pathsep/internal/obs"
+	"pathsep/internal/par"
 	"pathsep/internal/treedecomp"
 )
 
@@ -90,10 +91,45 @@ type Options struct {
 	// match Tree.Nodes) with its strategy, size, k and duration — the
 	// decomposition trace tree.
 	Trace *obs.Trace
+	// Workers bounds the construction worker pool. The recursion is
+	// processed level by level: every node of a level computes its
+	// separator (and its child components) as an independent task, and
+	// the results are merged in a fixed order, so the tree is
+	// bit-identical for every worker count. 0 means runtime.GOMAXPROCS(0);
+	// 1 forces the serial reference build.
+	Workers int
+}
+
+// item is one pending decomposition node: a subgraph awaiting its
+// separator, linked to its (already numbered) parent.
+type item struct {
+	sub    *graph.Sub
+	rot    *embed.Rotation
+	parent int
+	depth  int
+}
+
+// sepOut is the result of one node's parallel task: its separator plus the
+// fully built child items (components of the subgraph minus the
+// separator), or the first error encountered.
+type sepOut struct {
+	sep          *Separator
+	strategyName string
+	nanos        int64
+	children     []item
+	err          error
 }
 
 // Decompose builds the decomposition tree of g. If g is disconnected, the
 // root gets an empty separator with one child per component.
+//
+// The recursion is processed level by level. Within a level every node is
+// an independent task on a bounded worker pool (Options.Workers): the task
+// computes the separator, optionally certifies it, and builds the child
+// subgraphs. A serial merge pass then numbers the nodes in the exact order
+// the serial breadth-first build would, assigns homes, and emits metrics
+// and trace nodes — so the resulting Tree (IDs, children order, Home,
+// depth) is bit-identical for every worker count.
 func Decompose(g *graph.Graph, opt Options) (*Tree, error) {
 	if g.N() == 0 {
 		return nil, fmt.Errorf("core: empty graph")
@@ -108,6 +144,8 @@ func Decompose(g *graph.Graph, opt Options) (*Tree, error) {
 	if maxDepth <= 0 {
 		maxDepth = 2*log2Ceil(g.N()) + 8
 	}
+	pool := par.New(opt.Workers, opt.Metrics)
+	defer pool.Finish()
 	t := &Tree{G: g, Home: make([]int, g.N())}
 	for i := range t.Home {
 		t.Home[i] = -1
@@ -119,15 +157,9 @@ func Decompose(g *graph.Graph, opt Options) (*Tree, error) {
 	}
 	rootSub := graph.Induced(g, all)
 
-	type item struct {
-		sub    *graph.Sub
-		rot    *embed.Rotation
-		parent int
-		depth  int
-	}
-	var queue []item
+	var level []item
 	if graph.IsConnected(g) {
-		queue = append(queue, item{sub: rootSub, rot: opt.Rot, parent: -1, depth: 0})
+		level = append(level, item{sub: rootSub, rot: opt.Rot, parent: -1, depth: 0})
 	} else {
 		// Virtual root with empty separator.
 		root := &Node{ID: 0, Parent: -1, Sub: rootSub, StrategyName: "virtual-root"}
@@ -142,33 +174,16 @@ func Decompose(g *graph.Graph, opt Options) (*Tree, error) {
 			if opt.Rot != nil {
 				rot = opt.Rot.Restrict(sub)
 			}
-			queue = append(queue, item{sub: sub, rot: rot, parent: 0, depth: 1})
+			level = append(level, item{sub: sub, rot: rot, parent: 0, depth: 1})
 		}
 	}
 
-	for len(queue) > 0 {
-		it := queue[0]
-		queue = queue[1:]
-		if it.depth > maxDepth {
-			return nil, fmt.Errorf("core: decomposition exceeded max depth %d", maxDepth)
-		}
-		node := &Node{
-			ID:     len(t.Nodes),
-			Parent: it.parent,
-			Depth:  it.depth,
-			Sub:    it.sub,
-		}
-		t.Nodes = append(t.Nodes, node)
-		if it.parent >= 0 {
-			t.Nodes[it.parent].Children = append(t.Nodes[it.parent].Children, node.ID)
-		}
-		if it.depth > t.Depth {
-			t.Depth = it.depth
-		}
-
+	// separate runs inside a worker task: everything that touches no
+	// shared tree state. id is the node ID the merge pass will assign —
+	// IDs are breadth-first, so they are known before the level runs.
+	separate := func(it item, id int) sepOut {
+		out := sepOut{}
 		j := it.sub.G
-		var sep *Separator
-		var err error
 		sepStart := time.Now()
 		if j.N() <= max(1, opt.MinComponent) {
 			// Exhaust tiny components: every vertex its own trivial path.
@@ -176,55 +191,28 @@ func Decompose(g *graph.Graph, opt Options) (*Tree, error) {
 			for v := 0; v < j.N(); v++ {
 				phase.Paths = append(phase.Paths, Path{Vertices: []int{v}})
 			}
-			sep = &Separator{Phases: []Phase{phase}}
-			node.StrategyName = "exhaust"
+			out.sep = &Separator{Phases: []Phase{phase}}
+			out.strategyName = "exhaust"
 		} else {
-			sep, err = strat.Separate(Input{G: j, Rot: it.rot, Metrics: opt.Metrics})
+			sep, err := strat.Separate(Input{G: j, Rot: it.rot, Metrics: opt.Metrics})
 			if err != nil {
-				return nil, fmt.Errorf("core: node %d (n=%d, depth=%d): %w", node.ID, j.N(), it.depth, err)
+				out.err = fmt.Errorf("core: node %d (n=%d, depth=%d): %w", id, j.N(), it.depth, err)
+				return out
 			}
-			node.StrategyName = strat.Name()
+			out.sep = sep
+			out.strategyName = strat.Name()
 		}
-		node.SepNanos = time.Since(sepStart).Nanoseconds()
+		out.nanos = time.Since(sepStart).Nanoseconds()
 		if opt.Certify {
-			if err := Certify(j, sep); err != nil {
-				return nil, fmt.Errorf("core: node %d: %w", node.ID, err)
+			if err := Certify(j, out.sep); err != nil {
+				out.err = fmt.Errorf("core: node %d: %w", id, err)
+				return out
 			}
 		}
-		node.Sep = sep
-		if k := sep.NumPaths(); k > t.MaxK {
-			t.MaxK = k
-		}
-		t.TotalPaths += sep.NumPaths()
-
-		locals := sep.Vertices()
+		locals := out.sep.Vertices()
 		if len(locals) == 0 {
-			return nil, fmt.Errorf("core: node %d: separator removed nothing", node.ID)
-		}
-		if m := opt.Metrics; m != nil {
-			m.Counter("core.nodes").Inc()
-			m.Counter("core.separator_paths").Add(int64(sep.NumPaths()))
-			m.Counter("core.separator_vertices").Add(int64(len(locals)))
-			m.Counter(fmt.Sprintf("core.level.%02d.separate_ns", it.depth)).Add(node.SepNanos)
-			m.Counter(fmt.Sprintf("core.level.%02d.nodes", it.depth)).Inc()
-			m.Histogram("core.subgraph_n").Observe(float64(j.N()))
-			m.Histogram("core.separate_ns").Observe(float64(node.SepNanos))
-			m.Gauge("core.max_k").SetMax(int64(sep.NumPaths()))
-		}
-		if id := opt.Trace.Add(it.parent, node.StrategyName); id >= 0 {
-			opt.Trace.SetNanos(id, node.SepNanos)
-			opt.Trace.SetAttr(id, "n", int64(j.N()))
-			opt.Trace.SetAttr(id, "m", int64(j.M()))
-			opt.Trace.SetAttr(id, "k", int64(sep.NumPaths()))
-			opt.Trace.SetAttr(id, "phases", int64(sep.NumPhases()))
-			opt.Trace.SetAttr(id, "sepverts", int64(len(locals)))
-		}
-		for _, lv := range locals {
-			ov := it.sub.Orig[lv]
-			if t.Home[ov] >= 0 {
-				return nil, fmt.Errorf("core: vertex %d separated twice", ov)
-			}
-			t.Home[ov] = node.ID
+			out.err = fmt.Errorf("core: node %d: separator removed nothing", id)
+			return out
 		}
 		for _, comp := range graph.ComponentsAfterRemoval(j, locals) {
 			childSub := graph.Induced(j, comp)
@@ -237,8 +225,80 @@ func Decompose(g *graph.Graph, opt Options) (*Tree, error) {
 			if it.rot != nil {
 				childRot = it.rot.Restrict(graph.Induced(j, comp))
 			}
-			queue = append(queue, item{sub: lifted, rot: childRot, parent: node.ID, depth: it.depth + 1})
+			out.children = append(out.children, item{sub: lifted, rot: childRot, parent: id, depth: it.depth + 1})
 		}
+		return out
+	}
+
+	for len(level) > 0 {
+		if level[0].depth > maxDepth {
+			return nil, fmt.Errorf("core: decomposition exceeded max depth %d", maxDepth)
+		}
+		base := len(t.Nodes)
+		results := make([]sepOut, len(level))
+		pool.ForEach(len(level), func(i int) {
+			results[i] = separate(level[i], base+i)
+		})
+
+		// Serial merge in level order: numbering, homes, metrics, trace.
+		var next []item
+		for i, it := range level {
+			res := results[i]
+			if res.err != nil {
+				return nil, res.err
+			}
+			node := &Node{
+				ID:           base + i,
+				Parent:       it.parent,
+				Depth:        it.depth,
+				Sub:          it.sub,
+				Sep:          res.sep,
+				StrategyName: res.strategyName,
+				SepNanos:     res.nanos,
+			}
+			t.Nodes = append(t.Nodes, node)
+			if it.parent >= 0 {
+				t.Nodes[it.parent].Children = append(t.Nodes[it.parent].Children, node.ID)
+			}
+			if it.depth > t.Depth {
+				t.Depth = it.depth
+			}
+			j := it.sub.G
+			sep := res.sep
+			if k := sep.NumPaths(); k > t.MaxK {
+				t.MaxK = k
+			}
+			t.TotalPaths += sep.NumPaths()
+
+			locals := sep.Vertices()
+			if m := opt.Metrics; m != nil {
+				m.Counter("core.nodes").Inc()
+				m.Counter("core.separator_paths").Add(int64(sep.NumPaths()))
+				m.Counter("core.separator_vertices").Add(int64(len(locals)))
+				m.Counter(fmt.Sprintf("core.level.%02d.separate_ns", it.depth)).Add(node.SepNanos)
+				m.Counter(fmt.Sprintf("core.level.%02d.nodes", it.depth)).Inc()
+				m.Histogram("core.subgraph_n").Observe(float64(j.N()))
+				m.Histogram("core.separate_ns").Observe(float64(node.SepNanos))
+				m.Gauge("core.max_k").SetMax(int64(sep.NumPaths()))
+			}
+			if id := opt.Trace.Add(it.parent, node.StrategyName); id >= 0 {
+				opt.Trace.SetNanos(id, node.SepNanos)
+				opt.Trace.SetAttr(id, "n", int64(j.N()))
+				opt.Trace.SetAttr(id, "m", int64(j.M()))
+				opt.Trace.SetAttr(id, "k", int64(sep.NumPaths()))
+				opt.Trace.SetAttr(id, "phases", int64(sep.NumPhases()))
+				opt.Trace.SetAttr(id, "sepverts", int64(len(locals)))
+			}
+			for _, lv := range locals {
+				ov := it.sub.Orig[lv]
+				if t.Home[ov] >= 0 {
+					return nil, fmt.Errorf("core: vertex %d separated twice", ov)
+				}
+				t.Home[ov] = node.ID
+			}
+			next = append(next, res.children...)
+		}
+		level = next
 	}
 	for v, h := range t.Home {
 		if h < 0 {

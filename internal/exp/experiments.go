@@ -24,6 +24,9 @@ type Config struct {
 	Quick bool
 	// Seed drives all randomness.
 	Seed int64
+	// Workers bounds the construction worker pool (0 = GOMAXPROCS,
+	// 1 = serial); results are identical for every value.
+	Workers int
 }
 
 func (c Config) rng() *rand.Rand { return rand.New(rand.NewSource(c.Seed + 7)) }
@@ -88,7 +91,7 @@ func E1Separator(c Config) *Table {
 		}
 		for _, in := range instances {
 			start := time.Now()
-			dec, err := core.Decompose(in.g, core.Options{Strategy: core.Auto{}, Rot: in.rot})
+			dec, err := core.Decompose(in.g, core.Options{Strategy: core.Auto{}, Rot: in.rot, Workers: c.Workers})
 			if err != nil {
 				t.AddRow(in.name, in.g.N(), in.g.M(), "ERR", err.Error())
 				continue
@@ -185,7 +188,7 @@ func E4Oracle(c Config) *Table {
 	for _, side := range sides {
 		grid := embed.Grid(side, side, graph.UniformWeights(1, 4), rng)
 		g := grid.G
-		dec, err := core.Decompose(g, core.Options{Strategy: core.Auto{}, Rot: grid})
+		dec, err := core.Decompose(g, core.Options{Strategy: core.Auto{}, Rot: grid, Workers: c.Workers})
 		if err != nil {
 			continue
 		}
@@ -196,7 +199,7 @@ func E4Oracle(c Config) *Table {
 					name = "pathsep-portal"
 				}
 				start := time.Now()
-				o, err := oracle.Build(dec, oracle.Options{Epsilon: eps, Mode: mode})
+				o, err := oracle.Build(dec, oracle.Options{Epsilon: eps, Mode: mode, Workers: c.Workers})
 				if err != nil {
 					continue
 				}
@@ -244,12 +247,12 @@ func E5Labels(c Config) *Table {
 	sides := c.pick([]int{8, 12}, []int{8, 16, 24, 32})
 	for _, side := range sides {
 		grid := embed.Grid(side, side, graph.UniformWeights(1, 4), rng)
-		dec, err := core.Decompose(grid.G, core.Options{Strategy: core.Auto{}, Rot: grid})
+		dec, err := core.Decompose(grid.G, core.Options{Strategy: core.Auto{}, Rot: grid, Workers: c.Workers})
 		if err != nil {
 			continue
 		}
 		for _, eps := range []float64{0.5, 0.1} {
-			o, err := oracle.Build(dec, oracle.Options{Epsilon: eps, Mode: oracle.CoverExact})
+			o, err := oracle.Build(dec, oracle.Options{Epsilon: eps, Mode: oracle.CoverExact, Workers: c.Workers})
 			if err != nil {
 				continue
 			}
@@ -291,7 +294,7 @@ func E6Routing(c Config) *Table {
 	for _, side := range sides {
 		grid := embed.Grid(side, side, graph.UniformWeights(1, 4), rng)
 		g := grid.G
-		dec, err := core.Decompose(g, core.Options{Strategy: core.Auto{}, Rot: grid})
+		dec, err := core.Decompose(g, core.Options{Strategy: core.Auto{}, Rot: grid, Workers: c.Workers})
 		if err != nil {
 			continue
 		}
@@ -357,7 +360,7 @@ func E7SmallWorld(c Config) *Table {
 	for _, side := range sides {
 		grid := embed.Grid(side, side, graph.UniformWeights(1, 2), rng)
 		g := grid.G
-		dec, err := core.Decompose(g, core.Options{Strategy: core.Auto{}, Rot: grid})
+		dec, err := core.Decompose(g, core.Options{Strategy: core.Auto{}, Rot: grid, Workers: c.Workers})
 		if err != nil {
 			continue
 		}
@@ -381,7 +384,7 @@ func E7SmallWorld(c Config) *Table {
 		side := 20
 		for _, spread := range []float64{1, 4, 8} {
 			grid := embed.Grid(side, side, graph.ExpWeights(spread), rng)
-			dec, err := core.Decompose(grid.G, core.Options{Strategy: core.Auto{}, Rot: grid})
+			dec, err := core.Decompose(grid.G, core.Options{Strategy: core.Auto{}, Rot: grid, Workers: c.Workers})
 			if err != nil {
 				continue
 			}
@@ -403,7 +406,7 @@ func E7SmallWorld(c Config) *Table {
 		nk = 120
 	}
 	g := graph.KTree(nk, 3, graph.UniformWeights(1, 2), rng)
-	dec, err := core.Decompose(g, core.Options{Strategy: core.CenterBag{}})
+	dec, err := core.Decompose(g, core.Options{Strategy: core.CenterBag{}, Workers: c.Workers})
 	if err == nil {
 		a, err := smallworld.Augment(dec, smallworld.ModelPathSeparator, rng)
 		if err == nil {
@@ -431,7 +434,7 @@ func E8Note2(c Config) *Table {
 	}
 	for _, side := range c.pick([]int{12}, []int{12, 20, 28}) {
 		grid := embed.Grid(side, side, graph.UnitWeights(), rng)
-		dec, err := core.Decompose(grid.G, core.Options{Strategy: core.Auto{}, Rot: grid})
+		dec, err := core.Decompose(grid.G, core.Options{Strategy: core.Auto{}, Rot: grid, Workers: c.Workers})
 		if err != nil {
 			continue
 		}

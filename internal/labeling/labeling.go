@@ -145,7 +145,11 @@ func centroidOf(g *graph.Graph) int {
 // Query returns the exact distance between u and v from the stored
 // labels: the minimum over shared centroids of the distance sums (the
 // deepest shared centroid lies on the u-v path and realizes the minimum).
+// Out-of-range vertex IDs report +Inf rather than panicking.
 func (t *TreeLabeling) Query(u, v int) float64 {
+	if u < 0 || v < 0 || u >= len(t.Labels) || v >= len(t.Labels) {
+		return math.Inf(1)
+	}
 	if u == v {
 		return 0
 	}

@@ -30,6 +30,7 @@ import (
 	"pathsep/internal/core"
 	"pathsep/internal/graph"
 	"pathsep/internal/obs"
+	"pathsep/internal/par"
 	"pathsep/internal/shortest"
 )
 
@@ -55,9 +56,16 @@ type Options struct {
 	// CoverPortal mode; 0 means ceil(4/ε).
 	PortalsPerPath int
 	// Metrics, when non-nil, receives build-time accounting under
-	// "oracle.*" and "shortest.*" and attaches query-time latency and
-	// portal histograms to the oracle (equivalent to calling SetMetrics).
+	// "oracle.*", "shortest.*" and "build.*" and attaches query-time
+	// latency and portal histograms to the oracle (equivalent to calling
+	// SetMetrics).
 	Metrics *obs.Registry
+	// Workers bounds the worker pool that fans out the per-separator-path
+	// (and, in CoverExact mode, per-vertex) Dijkstra tasks. Task outputs
+	// are merged in a fixed order, so the oracle encoding is bit-identical
+	// for every worker count. 0 means runtime.GOMAXPROCS(0); 1 forces the
+	// serial reference build.
+	Workers int
 }
 
 // Key identifies a separator path: decomposition node, phase index within
@@ -135,14 +143,35 @@ func (o *Oracle) SetMetrics(reg *obs.Registry) {
 	o.qPortals = reg.Histogram("oracle.query_portals")
 }
 
+// rec is one deferred label entry produced by a parallel build task:
+// add(v, k, p) to be replayed by the merge pass.
+type rec struct {
+	v int
+	k Key
+	p Portal
+}
+
 // Build constructs the oracle from a decomposition tree.
+//
+// Construction is a three-stage pipeline. A serial planning pass walks the
+// tree, builds every residual graph J and path geometry, emits the
+// zero-distance self entries, and collects one closure per unit of
+// Dijkstra work: per separator path in CoverPortal mode, per residual
+// vertex in CoverExact mode. The tasks then fan out on a bounded worker
+// pool (Options.Workers), each returning its label records into its own
+// slot, and a serial merge pass replays the slots in task order. Labels
+// are canonicalized by normalizeLabel, so the encoded oracle is
+// bit-identical for every worker count — the differential tests compare
+// Encode() bytes of workers=1 and workers=N builds.
 func Build(t *core.Tree, opt Options) (*Oracle, error) {
-	if opt.Epsilon <= 0 {
-		return nil, fmt.Errorf("oracle: epsilon must be positive, got %v", opt.Epsilon)
+	if !(opt.Epsilon > 0) || math.IsInf(opt.Epsilon, 1) {
+		return nil, fmt.Errorf("oracle: epsilon must be positive and finite, got %v", opt.Epsilon)
 	}
 	span := opt.Metrics.StartSpan("oracle.build")
 	defer span.End()
 	col := shortest.NewCollector(opt.Metrics)
+	pool := par.New(opt.Workers, opt.Metrics)
+	defer pool.Finish()
 	o := &Oracle{
 		Labels: make([]Label, t.G.N()),
 		N:      t.G.N(),
@@ -163,6 +192,9 @@ func Build(t *core.Tree, opt Options) (*Oracle, error) {
 		e.Portals = append(e.Portals, p)
 	}
 
+	// Stage 1: serial planning — residual graphs, path geometry, self
+	// entries, and the task list.
+	var tasks []func() []rec
 	for _, node := range t.Nodes {
 		if node.Sep == nil {
 			continue
@@ -182,7 +214,12 @@ func Build(t *core.Tree, opt Options) (*Oracle, error) {
 			for jv, lv := range sub.Orig {
 				toJ[lv] = jv
 			}
-			rootID := func(jv int) int { return node.Sub.Orig[sub.Orig[jv]] }
+			// roots[jv] is the root-graph ID of residual vertex jv,
+			// precomputed so tasks touch no shared maps.
+			roots := make([]int, j.N())
+			for jv := range roots {
+				roots[jv] = node.Sub.Orig[sub.Orig[jv]]
+			}
 
 			// Per-path J-local vertex lists and positions.
 			infos := make([]pathInfo, len(phase.Paths))
@@ -210,54 +247,65 @@ func Build(t *core.Tree, opt Options) (*Oracle, error) {
 				// Self entries: every path vertex is its own zero-distance
 				// portal.
 				for x, jv := range info.verts {
-					add(rootID(jv), k, Portal{Pos: info.pos[x], Dist: 0})
+					add(roots[jv], k, Portal{Pos: info.pos[x], Dist: 0})
 				}
 			}
 
 			switch opt.Mode {
 			case CoverPortal:
-				for pi, info := range infos {
+				for pi := range infos {
+					info := infos[pi]
 					k := Key{Node: int32(node.ID), Phase: int16(phaseIdx), Path: int16(pi)}
-					// Closest-attachment entries via one multi-source run.
-					trQ := shortest.MultiSource(j, info.verts)
-					col.Record(trQ)
-					posOf := make(map[int]float64, len(info.verts))
-					for x, jv := range info.verts {
-						posOf[jv] = info.pos[x]
-					}
-					for w := 0; w < j.N(); w++ {
-						src := trQ.Source[w]
-						if src < 0 || core.IsZeroDist(trQ.Dist[w]) {
-							continue
+					tasks = append(tasks, func() []rec {
+						var out []rec
+						// Closest-attachment entries via one multi-source run.
+						trQ := shortest.MultiSource(j, info.verts)
+						col.Record(trQ)
+						posOf := make(map[int]float64, len(info.verts))
+						for x, jv := range info.verts {
+							posOf[jv] = info.pos[x]
 						}
-						add(rootID(w), k, Portal{Pos: posOf[src], Dist: trQ.Dist[w]})
-					}
-					// Evenly spaced portals (by weight), endpoints included.
-					sel := selectEvenPortals(info.pos, portalsPerPath)
-					for _, x := range sel {
-						tr := shortest.Dijkstra(j, info.verts[x])
-						col.Record(tr)
 						for w := 0; w < j.N(); w++ {
-							if math.IsInf(tr.Dist[w], 1) || core.IsZeroDist(tr.Dist[w]) {
+							src := trQ.Source[w]
+							if src < 0 || core.IsZeroDist(trQ.Dist[w]) {
 								continue
 							}
-							add(rootID(w), k, Portal{Pos: info.pos[x], Dist: tr.Dist[w]})
+							out = append(out, rec{roots[w], k, Portal{Pos: posOf[src], Dist: trQ.Dist[w]}})
 						}
-					}
+						// Evenly spaced portals (by weight), endpoints included.
+						sel := selectEvenPortals(info.pos, portalsPerPath)
+						for _, x := range sel {
+							tr := shortest.Dijkstra(j, info.verts[x])
+							col.Record(tr)
+							for w := 0; w < j.N(); w++ {
+								if math.IsInf(tr.Dist[w], 1) || core.IsZeroDist(tr.Dist[w]) {
+									continue
+								}
+								out = append(out, rec{roots[w], k, Portal{Pos: info.pos[x], Dist: tr.Dist[w]}})
+							}
+						}
+						return out
+					})
 				}
 			default: // CoverExact
+				node := node
 				for w := 0; w < j.N(); w++ {
-					tr := shortest.Dijkstra(j, w)
-					col.Record(tr)
-					for pi, info := range infos {
-						k := Key{Node: int32(node.ID), Phase: int16(phaseIdx), Path: int16(pi)}
-						for _, x := range epsCover(tr.Dist, info, opt.Epsilon) {
-							if info.verts[x] == w {
-								continue // self entry already present
+					w := w
+					tasks = append(tasks, func() []rec {
+						var out []rec
+						tr := shortest.Dijkstra(j, w)
+						col.Record(tr)
+						for pi, info := range infos {
+							k := Key{Node: int32(node.ID), Phase: int16(phaseIdx), Path: int16(pi)}
+							for _, x := range epsCover(tr.Dist, info, opt.Epsilon) {
+								if info.verts[x] == w {
+									continue // self entry already present
+								}
+								out = append(out, rec{roots[w], k, Portal{Pos: info.pos[x], Dist: tr.Dist[info.verts[x]]}})
 							}
-							add(rootID(w), k, Portal{Pos: info.pos[x], Dist: tr.Dist[info.verts[x]]})
 						}
-					}
+						return out
+					})
 				}
 			}
 
@@ -266,6 +314,17 @@ func Build(t *core.Tree, opt Options) (*Oracle, error) {
 					removed[lv] = true
 				}
 			}
+		}
+	}
+
+	// Stage 2: fan out the Dijkstra tasks; each writes only its own slot.
+	outs := make([][]rec, len(tasks))
+	pool.ForEach(len(tasks), func(i int) { outs[i] = tasks[i]() })
+
+	// Stage 3: serial merge in fixed task order.
+	for _, rs := range outs {
+		for _, r := range rs {
+			add(r.v, r.k, r.p)
 		}
 	}
 
@@ -387,10 +446,16 @@ func normalizeLabel(l *Label) {
 }
 
 // Query returns a (1+ε)-approximate distance between u and v, or +Inf if
-// they are disconnected. With metrics attached (SetMetrics) it also
-// observes the query latency and the number of portals compared; the
-// disabled path is a single nil check and allocation-free.
+// they are disconnected. Out-of-range or negative vertex IDs also report
+// +Inf ("not locatable") rather than panicking — the oracle is the public
+// query surface, so malformed input degrades gracefully. With metrics
+// attached (SetMetrics) it also observes the query latency and the number
+// of portals compared; the disabled path is a single bounds-and-nil check
+// and allocation-free.
 func (o *Oracle) Query(u, v int) float64 {
+	if u < 0 || v < 0 || u >= len(o.Labels) || v >= len(o.Labels) {
+		return math.Inf(1)
+	}
 	if u == v {
 		return 0
 	}
@@ -407,8 +472,11 @@ func (o *Oracle) Query(u, v int) float64 {
 
 // QueryLabels answers an approximate distance query from two labels alone
 // (the distributed scheme): the minimum over shared separator paths of the
-// best portal-pair estimate.
+// best portal-pair estimate. Nil labels report +Inf.
 func QueryLabels(lu, lv *Label) float64 {
+	if lu == nil || lv == nil {
+		return math.Inf(1)
+	}
 	est, _ := queryLabels(lu, lv)
 	return est
 }
@@ -504,29 +572,58 @@ type AuditResult struct {
 
 // Audit compares Query against fresh Dijkstra runs over sampled pairs
 // drawn by next() (e.g. a closure over math/rand). It is the library form
-// of the test-suite stretch audit, reusable by experiments and CLIs.
+// of the test-suite stretch audit, reusable by experiments and CLIs. The
+// per-pair Dijkstras fan out across runtime.GOMAXPROCS(0) workers; use
+// AuditWorkers to pin the width.
 func (o *Oracle) Audit(g *graph.Graph, pairs int, next func(n int) int) AuditResult {
-	res := AuditResult{}
-	sum := 0.0
-	for i := 0; i < pairs; i++ {
-		u := next(o.N)
-		v := next(o.N)
+	return o.AuditWorkers(g, pairs, next, 0)
+}
+
+// AuditWorkers is Audit with an explicit worker-pool width (0 means
+// runtime.GOMAXPROCS(0), 1 is fully serial). All pairs are drawn from
+// next() serially up front and the ratios are reduced in draw order, so
+// the result is bit-identical for every worker count.
+func (o *Oracle) AuditWorkers(g *graph.Graph, pairs int, next func(n int) int, workers int) AuditResult {
+	type slot struct {
+		ratio float64
+		under bool
+		ok    bool
+	}
+	type pair struct{ u, v int }
+	ps := make([]pair, pairs)
+	for i := range ps {
+		ps[i] = pair{next(o.N), next(o.N)}
+	}
+	slots := make([]slot, pairs)
+
+	pool := par.New(workers, nil)
+	pool.ForEach(pairs, func(i int) {
+		u, v := ps[i].u, ps[i].v
 		if u == v {
-			continue
+			return
 		}
 		d := shortest.Dijkstra(g, u).Dist[v]
 		if math.IsInf(d, 1) || core.IsZeroDist(d) {
-			continue
+			return
 		}
 		est := o.Query(u, v)
-		if est < d-1e-9 {
+		slots[i] = slot{ratio: est / d, under: est < d-1e-9, ok: true}
+	})
+	pool.Finish()
+
+	res := AuditResult{}
+	sum := 0.0
+	for _, s := range slots {
+		if !s.ok {
+			continue
+		}
+		if s.under {
 			res.Underestimates++
 		}
-		ratio := est / d
-		if ratio > res.MaxStretch {
-			res.MaxStretch = ratio
+		if s.ratio > res.MaxStretch {
+			res.MaxStretch = s.ratio
 		}
-		sum += ratio
+		sum += s.ratio
 		res.Pairs++
 	}
 	if res.Pairs > 0 {

@@ -1,0 +1,109 @@
+package par
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"pathsep/internal/obs"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		p := New(workers, nil)
+		hit := make([]atomic.Int64, 100)
+		p.ForEach(len(hit), func(i int) { hit[i].Add(1) })
+		for i := range hit {
+			if got := hit[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times, want 1", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	p := New(workers, nil)
+	var busy, peak atomic.Int64
+	p.ForEach(64, func(int) {
+		b := busy.Add(1)
+		for {
+			old := peak.Load()
+			if b <= old || peak.CompareAndSwap(old, b) {
+				break
+			}
+		}
+		busy.Add(-1)
+	})
+	if got := peak.Load(); got > workers {
+		t.Fatalf("peak concurrency %d > workers %d", got, workers)
+	}
+}
+
+func TestNilAndSerialPoolsRunInline(t *testing.T) {
+	var nilPool *Pool
+	order := []int{}
+	nilPool.ForEach(4, func(i int) { order = append(order, i) })
+	if len(order) != 4 || order[0] != 0 || order[3] != 3 {
+		t.Fatalf("nil pool order = %v, want 0..3 in order", order)
+	}
+	if nilPool.Workers() != 1 {
+		t.Fatalf("nil pool workers = %d", nilPool.Workers())
+	}
+	nilPool.Finish() // must not panic
+
+	p := New(1, nil)
+	order = order[:0]
+	p.ForEach(4, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial pool order = %v, want in-order", order)
+		}
+	}
+}
+
+func TestForkRunsAll(t *testing.T) {
+	p := New(4, nil)
+	var a, b atomic.Bool
+	p.Fork(func() { a.Store(true) }, func() { b.Store(true) })
+	if !a.Load() || !b.Load() {
+		t.Fatal("Fork did not run every function")
+	}
+}
+
+func TestPoolMetrics(t *testing.T) {
+	reg := obs.New()
+	p := New(4, reg)
+	p.ForEach(32, func(int) {})
+	p.Finish()
+	snap := reg.Snapshot()
+	if got := snap.Histograms["build.task_ns"].Count; got != 32 {
+		t.Fatalf("build.task_ns count = %d, want 32", got)
+	}
+	if _, ok := snap.Gauges["build.parallel_speedup"]; !ok {
+		t.Fatal("build.parallel_speedup gauge missing after Finish")
+	}
+	if _, ok := snap.Gauges["build.workers_busy"]; !ok {
+		t.Fatal("build.workers_busy gauge missing")
+	}
+	if _, ok := snap.Counters["build.tasks_stolen"]; !ok {
+		t.Fatal("build.tasks_stolen counter missing")
+	}
+}
+
+func TestSplitRandDeterministic(t *testing.T) {
+	a := SplitRand(rand.New(rand.NewSource(42)), 5)
+	b := SplitRand(rand.New(rand.NewSource(42)), 5)
+	for i := range a {
+		for j := 0; j < 10; j++ {
+			if x, y := a[i].Int63(), b[i].Int63(); x != y {
+				t.Fatalf("split %d draw %d: %d != %d", i, j, x, y)
+			}
+		}
+	}
+	// Distinct children produce distinct streams.
+	c := SplitRand(rand.New(rand.NewSource(42)), 2)
+	if c[0].Int63() == c[1].Int63() {
+		t.Fatal("sibling streams coincide on first draw")
+	}
+}

@@ -494,7 +494,11 @@ type routePlan struct {
 // target was reached. Delivery is guaranteed for connected pairs: the
 // chosen plan's route is exactly realizable (up the portal tree, then
 // down DFS intervals), so maxHops only guards against corrupted tables.
+// Out-of-range vertex IDs fail the route (nil, false) rather than panic.
 func (r *Router) Route(s, target int, maxHops int) ([]int, bool) {
+	if s < 0 || target < 0 || s >= len(r.Tables) || target >= len(r.Addrs) {
+		return nil, false
+	}
 	path, ok := r.route(s, target, maxHops)
 	if r.rHops != nil {
 		r.rHeader.Observe(float64(r.Addrs[target].NumWords() * 8))
@@ -536,6 +540,9 @@ func (r *Router) route(s, target int, maxHops int) ([]int, bool) {
 // EstimateAndRoute returns the chosen plan estimate along with the route;
 // useful for auditing that realized length equals the estimate.
 func (r *Router) EstimateAndRoute(s, target, maxHops int) (float64, []int, bool) {
+	if s < 0 || target < 0 || s >= len(r.Tables) || target >= len(r.Addrs) {
+		return math.Inf(1), nil, false
+	}
 	if s == target {
 		return 0, []int{s}, true
 	}

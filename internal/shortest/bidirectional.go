@@ -11,8 +11,17 @@ import (
 // alternating Dijkstra expansions from both ends, settling roughly half
 // the vertices a unidirectional run would. Returns +Inf if disconnected.
 func Bidirectional(g *graph.Graph, s, t int) float64 {
+	d, _ := BidirectionalStats(g, s, t)
+	return d
+}
+
+// BidirectionalStats is Bidirectional plus the number of vertices settled
+// (relaxed), for regression tests asserting the search does not expand
+// stale heap entries whose tentative distance already meets or exceeds
+// the best known s-t meeting distance.
+func BidirectionalStats(g *graph.Graph, s, t int) (float64, int) {
 	if s == t {
-		return 0
+		return 0, 0
 	}
 	n := g.N()
 	distF := make([]float64, n)
@@ -28,6 +37,7 @@ func Bidirectional(g *graph.Graph, s, t int) float64 {
 	doneF := make([]bool, n)
 	doneB := make([]bool, n)
 	best := math.Inf(1)
+	settled := 0
 
 	expand := func(pq *pqueue.PQ, dist, other []float64, done []bool) bool {
 		if pq.Len() == 0 {
@@ -37,12 +47,25 @@ func Bidirectional(g *graph.Graph, s, t int) float64 {
 		if done[v] {
 			return true
 		}
+		// Any s-t path through v is at least dv >= best, so relaxing its
+		// neighbors cannot improve the answer: retire the stale entry
+		// without the (formerly wasted) neighbor scan.
+		if dv >= best {
+			done[v] = true
+			return true
+		}
 		done[v] = true
+		settled++
 		if !math.IsInf(other[v], 1) && dv+other[v] < best {
 			best = dv + other[v]
 		}
 		for _, h := range g.Neighbors(v) {
 			nd := dv + h.W
+			if nd >= best {
+				// A path through h.To at distance nd cannot beat best;
+				// don't enqueue work that the stopping rule will discard.
+				continue
+			}
 			if nd < dist[h.To] {
 				dist[h.To] = nd
 				pq.Push(h.To, nd)
@@ -73,7 +96,7 @@ func Bidirectional(g *graph.Graph, s, t int) float64 {
 			expand(pqB, distB, distF, doneB)
 		}
 	}
-	return best
+	return best, settled
 }
 
 // peek returns the minimum item without removing it.

@@ -67,6 +67,53 @@ func TestAStarWithPerfectHeuristicSettlesLess(t *testing.T) {
 	}
 }
 
+func TestBidirectionalSettlesNoMoreThanDijkstra(t *testing.T) {
+	// Regression for the stale-heap-entry bug: entries popped after the
+	// stopping rule's best is already proven must not relax neighbors, so
+	// the bidirectional settled count can never exceed a unidirectional
+	// run (which settles every reachable vertex).
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.ConnectedGNM(80, 240, graph.UniformWeights(0.5, 5), rng)
+		tr := Dijkstra(g, 0)
+		reachable := 0
+		for v := 0; v < g.N(); v++ {
+			if !math.IsInf(tr.Dist[v], 1) {
+				reachable++
+			}
+		}
+		for v := 1; v < g.N(); v += 7 {
+			d, settled := BidirectionalStats(g, 0, v)
+			if math.Abs(d-tr.Dist[v]) > 1e-9 {
+				t.Fatalf("seed %d: dist(0,%d) = %v, want %v", seed, v, d, tr.Dist[v])
+			}
+			if settled > reachable {
+				t.Fatalf("seed %d: settled %d > unidirectional %d", seed, v, settled)
+			}
+		}
+	}
+}
+
+func TestBidirectionalStaleEntriesNotExpanded(t *testing.T) {
+	// A cycle where s and t are adjacent via a weight-1 edge but the heap
+	// also holds entries for the long way round: once best=1 is found,
+	// every remaining entry has dv >= best and must be retired without
+	// relaxation, keeping the settled count tiny.
+	b := graph.NewBuilder(64)
+	for i := 0; i < 63; i++ {
+		b.AddEdge(i, i+1, 1)
+	}
+	b.AddEdge(63, 0, 1)
+	g := b.Build()
+	d, settled := BidirectionalStats(g, 0, 63)
+	if d != 1 {
+		t.Fatalf("d = %v, want 1", d)
+	}
+	if settled > 4 {
+		t.Fatalf("settled %d vertices on an adjacent pair, want <= 4", settled)
+	}
+}
+
 func TestQuickBidirectionalAgainstDijkstra(t *testing.T) {
 	f := func(seed int64, nRaw uint8) bool {
 		n := int(nRaw)%40 + 2

@@ -44,6 +44,7 @@ import (
 	"pathsep/internal/labeling"
 	"pathsep/internal/obs"
 	"pathsep/internal/oracle"
+	"pathsep/internal/par"
 	"pathsep/internal/routing"
 	"pathsep/internal/smallworld"
 )
@@ -143,6 +144,10 @@ type Options struct {
 	Metrics *Metrics
 	// Trace, when non-nil, receives the decomposition trace tree.
 	Trace *DecompositionTrace
+	// Workers bounds the construction worker pool: 0 means
+	// runtime.GOMAXPROCS(0), 1 forces the serial reference build. Every
+	// worker count produces a bit-identical decomposition.
+	Workers int
 }
 
 func (o Options) strategy() (core.Strategy, error) {
@@ -174,6 +179,7 @@ func Decompose(g *Graph, opt Options) (*Decomposition, error) {
 		Certify:  opt.Certify,
 		Metrics:  opt.Metrics,
 		Trace:    opt.Trace,
+		Workers:  opt.Workers,
 	})
 }
 
@@ -203,6 +209,10 @@ type OracleOptions struct {
 	// Metrics, when non-nil, receives build accounting ("oracle.*",
 	// "shortest.*") and attaches query latency/portal histograms.
 	Metrics *Metrics
+	// Workers bounds the construction worker pool: 0 means
+	// runtime.GOMAXPROCS(0), 1 forces the serial reference build. Every
+	// worker count produces a bit-identical oracle encoding.
+	Workers int
 }
 
 // NewOracle builds the Theorem 2 distance oracle over a decomposition.
@@ -216,6 +226,7 @@ func NewOracle(d *Decomposition, opt OracleOptions) (*Oracle, error) {
 		Mode:           mode,
 		PortalsPerPath: opt.PortalsPerPath,
 		Metrics:        opt.Metrics,
+		Workers:        opt.Workers,
 	})
 }
 
@@ -262,6 +273,12 @@ const (
 func Augment(d *Decomposition, model SmallWorldModel, rng *rand.Rand) (*Augmented, error) {
 	return smallworld.Augment(d, model, rng)
 }
+
+// SplitRand splits a parent generator into n independent child generators
+// by drawing n seeds serially from the parent. Hand child i to subproblem
+// i before fanning work out across goroutines: results then depend only
+// on the parent seed, never on worker count or scheduling.
+func SplitRand(parent *rand.Rand, n int) []*rand.Rand { return par.SplitRand(parent, n) }
 
 // GreedyRouteStats runs greedy-routing trials over an augmented graph and
 // reports delivery and hop statistics (Theorem 3's measured quantity).
