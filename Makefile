@@ -1,21 +1,25 @@
 # Tier-1+ verification for the pathsep repo.
 #
-#   make check      vet + lint + build + race tests + fuzz smoke + obs-overhead + parallel-speedup gates
+#   make check      vet + lint + build + race tests + fuzz smoke + obs-overhead + parallel-speedup + query-serving gates
 #   make test       plain test run (the tier-1 gate)
 #   make lint       run the repo-specific analyzers (cmd/pathsep-lint) over ./...
 #   make fuzz-short short fuzz smoke of the graph/label/address decoders
 #   make bench-obs  regenerate BENCH_obs.json (metrics on vs. off numbers)
 #   make bench-parallel  parallel-build speedup gate (BENCH_parallel.json)
+#   make bench-query     flat-vs-pointer query speedup gate (BENCH_query.json)
 
 GO ?= go
 FUZZTIME ?= 5s
+# Cap per-input minimization so short smoke runs spend their budget
+# mutating instead of shrinking the first large interesting input.
+FUZZMINTIME ?= 50x
 
 LINT_BIN := bin/pathsep-lint
 LINT_SRC := $(wildcard cmd/pathsep-lint/*.go internal/analyzers/*.go internal/analyzers/*/*.go)
 
-.PHONY: check test vet lint fuzz-short build race bench-overhead bench-obs bench-parallel
+.PHONY: check test vet lint fuzz-short build race bench-overhead bench-obs bench-parallel bench-query
 
-check: vet lint build race fuzz-short bench-overhead bench-parallel
+check: vet lint build race fuzz-short bench-overhead bench-parallel bench-query
 
 test:
 	$(GO) build ./...
@@ -41,10 +45,12 @@ race:
 # Short coverage-guided runs of every fuzz target; seed corpora alone run
 # in plain `go test`, this also mutates for FUZZTIME each.
 fuzz-short:
-	$(GO) test -fuzz=FuzzGraphIO -fuzztime=$(FUZZTIME) ./internal/graph/
-	$(GO) test -fuzz=FuzzDecodeLabel -fuzztime=$(FUZZTIME) ./internal/oracle/
-	$(GO) test -fuzz=FuzzDecodeOracle -fuzztime=$(FUZZTIME) ./internal/oracle/
-	$(GO) test -fuzz=FuzzDecodeAddr -fuzztime=$(FUZZTIME) ./internal/routing/
+	$(GO) test -fuzz=FuzzGraphIO -fuzztime=$(FUZZTIME) -fuzzminimizetime=$(FUZZMINTIME) ./internal/graph/
+	$(GO) test -fuzz=FuzzDecodeLabel -fuzztime=$(FUZZTIME) -fuzzminimizetime=$(FUZZMINTIME) ./internal/oracle/
+	$(GO) test -fuzz=FuzzDecodeOracle -fuzztime=$(FUZZTIME) -fuzzminimizetime=$(FUZZMINTIME) ./internal/oracle/
+	$(GO) test -fuzz=FuzzDecodeFlat -fuzztime=$(FUZZTIME) -fuzzminimizetime=$(FUZZMINTIME) ./internal/oracle/
+	$(GO) test -fuzz=FuzzFlatRoundTrip -fuzztime=$(FUZZTIME) -fuzzminimizetime=$(FUZZMINTIME) ./internal/oracle/
+	$(GO) test -fuzz=FuzzDecodeAddr -fuzztime=$(FUZZTIME) -fuzzminimizetime=$(FUZZMINTIME) ./internal/routing/
 
 # The disabled-path gate: must report 0 allocs/op on QueryDisabled.
 bench-overhead:
@@ -58,3 +64,9 @@ bench-obs:
 # records gomaxprocs either way).
 bench-parallel:
 	BENCH_PARALLEL_GATE=1 $(GO) test -run TestParallelBuildSpeedupGate -v .
+
+# The query-serving gate: Flat.Query must beat Oracle.Query by >= 1.5x
+# ns/op on the 4k-vertex grid and take 0 allocs/op; the measured numbers
+# land in BENCH_query.json.
+bench-query:
+	BENCH_QUERY_GATE=1 $(GO) test -run TestQueryServingGate -v .

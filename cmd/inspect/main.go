@@ -5,6 +5,9 @@
 // Usage:
 //
 //	gengraph -family apollonian -n 60 | inspect -maxdepth 3
+//
+// -mode pins the separator strategy (auto|tree|bag|planar|greedy; unknown
+// values are rejected) and -workers bounds the construction pool.
 package main
 
 import (
@@ -22,7 +25,29 @@ func main() {
 	in := flag.String("in", "", "input file (default stdin)")
 	maxDepth := flag.Int("maxdepth", 4, "deepest level to print (-1 = all)")
 	showPaths := flag.Bool("paths", true, "print the separator paths")
+	mode := flag.String("mode", "auto", "decomposition strategy: auto|tree|bag|planar|greedy")
+	workers := flag.Int("workers", 0, "construction worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
+
+	// Validate -mode up front, the same way cmd/oracle validates its mode:
+	// an unknown value is a usage error, not a silent fallback to auto.
+	var strat core.Strategy
+	switch *mode {
+	case "auto":
+		strat = core.Auto{}
+	case "tree":
+		strat = core.TreeCentroid{}
+	case "bag":
+		strat = core.CenterBag{}
+	case "planar":
+		strat = core.Planar{}
+	case "greedy":
+		strat = core.Greedy{}
+	default:
+		fmt.Fprintf(os.Stderr, "inspect: unknown -mode %q (want auto|tree|bag|planar|greedy)\n", *mode)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	var r io.Reader = os.Stdin
 	if *in != "" {
@@ -37,7 +62,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	dec, err := core.Decompose(g, core.Options{Strategy: core.Auto{}})
+	dec, err := core.Decompose(g, core.Options{Strategy: strat, Workers: *workers})
 	if err != nil {
 		fail(err)
 	}

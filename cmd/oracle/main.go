@@ -10,6 +10,11 @@
 // registry (decomposition level timings, Dijkstra relaxation counts,
 // query latency histogram); with -pprof addr it serves net/http/pprof
 // and /debug/vars while running.
+//
+// -flat freezes the oracle into its flat serving form (oracle.Flat) and
+// runs the query and audit phases through it; -serve-bench 2s measures
+// serving throughput (single-thread Query and batched QueryBatch QPS,
+// reported to the oracle.batch_qps gauge when -metrics is set).
 package main
 
 import (
@@ -36,6 +41,9 @@ func main() {
 	audit := flag.Int("audit", 200, "queries to audit against Dijkstra")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "construction worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	flat := flag.Bool("flat", false, "freeze the oracle into its flat serving form and query through it")
+	serveBench := flag.Duration("serve-bench", 0, "run a query-throughput benchmark (single-thread and batched) for this long; implies -flat")
+	batch := flag.Int("batch", 1024, "batch size for -serve-bench QueryBatch rounds")
 	metricsOut := flag.String("metrics", "", "write a metrics JSON snapshot to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /debug/vars on this address")
 	flag.Parse()
@@ -97,10 +105,28 @@ func main() {
 	}
 	buildTime := time.Since(start)
 
+	// The flat serving form: queries (and -serve-bench) run through it
+	// when requested; answers are bit-identical to the pointer oracle.
+	var fl *oracle.Flat
+	query := o.Query
+	if *flat || *serveBench > 0 {
+		start = time.Now()
+		var err error
+		fl, err = o.Freeze()
+		if err != nil {
+			fail(err)
+		}
+		freezeTime := time.Since(start)
+		fl.SetMetrics(reg)
+		query = fl.Query
+		fmt.Printf("flat: froze in %v  (%d keys, %d entries, %d portals, %d bytes)\n",
+			freezeTime.Round(time.Millisecond), fl.NumKeys(), fl.NumEntries(), fl.NumPortals(), fl.EncodedSize())
+	}
+
 	rng := rand.New(rand.NewSource(*seed))
 	start = time.Now()
 	for i := 0; i < *queries; i++ {
-		o.Query(rng.Intn(g.N()), rng.Intn(g.N()))
+		query(rng.Intn(g.N()), rng.Intn(g.N()))
 	}
 	qTime := time.Since(start) / time.Duration(max(1, *queries))
 
@@ -114,7 +140,7 @@ func main() {
 		if math.IsInf(d, 1) || core.IsZeroDist(d) {
 			continue
 		}
-		ratio := o.Query(u, v) / d
+		ratio := query(u, v) / d
 		if ratio > worst {
 			worst = ratio
 		}
@@ -131,12 +157,53 @@ func main() {
 		fmt.Printf("stretch: max=%.4f mean=%.4f over %d audited pairs (bound 1+eps=%.4f)\n",
 			worst, sum/float64(count), count, 1+*eps)
 	}
+	if *serveBench > 0 {
+		serveBenchmark(fl, g.N(), *serveBench, *batch, *workers, rng)
+	}
 	if *metricsOut != "" {
 		if err := writeMetrics(*metricsOut, reg); err != nil {
 			fail(err)
 		}
 		fmt.Printf("metrics: snapshot written to %s\n", *metricsOut)
 	}
+}
+
+// serveBenchmark measures serving throughput over the flat oracle: a
+// single-thread Query loop and batched QueryBatch rounds (buffer reused
+// across rounds), each for roughly half the given duration.
+func serveBenchmark(fl *oracle.Flat, n int, d time.Duration, batch, workers int, rng *rand.Rand) {
+	if batch < 1 {
+		batch = 1
+	}
+	half := d / 2
+
+	single := 0
+	deadline := time.Now().Add(half)
+	startSingle := time.Now()
+	for time.Now().Before(deadline) {
+		for i := 0; i < 256; i++ {
+			fl.Query(rng.Intn(n), rng.Intn(n))
+		}
+		single += 256
+	}
+	singleQPS := float64(single) / time.Since(startSingle).Seconds()
+
+	pairs := make([]oracle.Pair, batch)
+	out := make([]float64, batch)
+	batched := 0
+	deadline = time.Now().Add(half)
+	startBatch := time.Now()
+	for time.Now().Before(deadline) {
+		for i := range pairs {
+			pairs[i] = oracle.Pair{U: int32(rng.Intn(n)), V: int32(rng.Intn(n))}
+		}
+		out = fl.QueryBatchWorkers(pairs, out, workers)
+		batched += len(pairs)
+	}
+	batchQPS := float64(batched) / time.Since(startBatch).Seconds()
+
+	fmt.Printf("serve-bench: single-thread %.0f qps, batched %.0f qps (batch=%d workers=%d, %.1fx)\n",
+		singleQPS, batchQPS, batch, workers, batchQPS/singleQPS)
 }
 
 func writeMetrics(path string, reg *obs.Registry) error {

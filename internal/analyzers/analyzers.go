@@ -7,6 +7,7 @@
 //   - floatcmp:    float64 distances are compared through epsilon helpers
 //   - subgraphmut: shared adjacency storage is never mutated downstream
 //   - errctx:      errors are wrapped with %w and never silently dropped
+//   - hotalloc:    //pathsep:hotpath query functions stay allocation-free
 //
 // The suite runs as `go vet -vettool=bin/pathsep-lint` (see cmd/pathsep-lint
 // and `make lint`), and each analyzer carries analysistest-style coverage
@@ -18,6 +19,7 @@ import (
 
 	"pathsep/internal/analyzers/errctx"
 	"pathsep/internal/analyzers/floatcmp"
+	"pathsep/internal/analyzers/hotalloc"
 	"pathsep/internal/analyzers/obsnilguard"
 	"pathsep/internal/analyzers/seededrand"
 	"pathsep/internal/analyzers/subgraphmut"
@@ -28,6 +30,7 @@ func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		errctx.Analyzer,
 		floatcmp.Analyzer,
+		hotalloc.Analyzer,
 		obsnilguard.Analyzer,
 		seededrand.Analyzer,
 		subgraphmut.Analyzer,

@@ -1,0 +1,14 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"pathsep/internal/analyzers/analyzertest"
+	"pathsep/internal/analyzers/hotalloc"
+)
+
+// TestHotAlloc checks that tagged functions are flagged and untagged (or
+// clean) ones are not.
+func TestHotAlloc(t *testing.T) {
+	analyzertest.Run(t, "testdata", hotalloc.Analyzer, "a")
+}

@@ -1,0 +1,328 @@
+package oracle
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"pathsep/internal/obs"
+	"pathsep/internal/par"
+)
+
+// Flat is the compiled read-only query form of an Oracle: the same labels
+// re-laid-out as a struct-of-arrays so the query hot path touches only
+// contiguous memory.
+//
+//   - Every distinct separator-path Key across all labels is interned into
+//     keys (sorted by keyLess); entries refer to keys by their dense int32
+//     ID, so the merge-join compares one int32 instead of an 8-byte struct.
+//   - Per-vertex entries live in CSR form: vertex v owns entry indices
+//     entryOff[v]..entryOff[v+1], and entry e owns the portal range
+//     portalOff[e]..portalOff[e+1] of the single contiguous portal pool.
+//
+// A Flat is immutable after Freeze/DecodeFlat, so Query and QueryBatch are
+// safe for unbounded concurrent use. Queries return bit-identical results
+// to the pointer-walking Oracle.Query: the merge-join visits shared keys in
+// the same order, and the portal sweep evaluates exactly the candidate
+// values pairMin evaluates — the per-portal terms fl(Dist+Pos) and
+// fl(Dist−Pos) are precomputed once (with pairMin's own rounding) into the
+// pSum/pDiff arrays, so every float64 comparison sees the same bits.
+type Flat struct {
+	n    int
+	eps  float64
+	mode Mode
+
+	keys      []Key    // interned keys, sorted by keyLess; ID = index
+	entryOff  []int32  // len n+1: CSR offsets into entryKey/portalOff
+	entryKey  []int32  // len numEntries: key ID per entry
+	portalOff []int32  // len numEntries+1: CSR offsets into portals
+	portals   []Portal // one contiguous pool, grouped by entry
+
+	// Derived view of the pool (see derive): the sweep reads one indexed
+	// load per step and does one add, instead of a Portal load plus two
+	// arithmetic ops. Not part of the encoding; rebuilt on decode.
+	sweep []sweepPortal
+
+	// buf retains the encoded byte slice when the Flat was produced by a
+	// zero-copy DecodeFlat; the slices above alias it.
+	buf []byte
+
+	// Query-time instruments (SetMetrics); all nil-safe, and the disabled
+	// path is a single nil check with no allocation.
+	qLatency *obs.Histogram
+	qPortals *obs.Histogram
+	batchQPS *obs.Gauge
+}
+
+// Freeze compiles the oracle into its flat serving form. The oracle itself
+// is not modified or retained. Freeze fails only when the oracle exceeds
+// the int32 CSR index space (more than ~2·10⁹ entries or portals).
+func (o *Oracle) Freeze() (*Flat, error) {
+	// Intern keys: collect the distinct Key set and rank it by keyLess, so
+	// ID order coincides with the order the pointer merge-join visits keys.
+	seen := make(map[Key]int32)
+	var keys []Key
+	numEntries, numPortals := 0, 0
+	for v := range o.Labels {
+		for _, e := range o.Labels[v].Entries {
+			if _, ok := seen[e.Key]; !ok {
+				seen[e.Key] = 0
+				keys = append(keys, e.Key)
+			}
+			numEntries++
+			numPortals += len(e.Portals)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
+	for i, k := range keys {
+		seen[k] = int32(i)
+	}
+	if numEntries+1 > math.MaxInt32 || numPortals > math.MaxInt32 {
+		return nil, fmt.Errorf("oracle: freeze: %d entries / %d portals exceed the int32 CSR index space", numEntries, numPortals)
+	}
+
+	f := &Flat{
+		n:         o.N,
+		eps:       o.Eps,
+		mode:      o.mode,
+		keys:      keys,
+		entryOff:  make([]int32, o.N+1),
+		entryKey:  make([]int32, 0, numEntries),
+		portalOff: make([]int32, 1, numEntries+1),
+		portals:   make([]Portal, 0, numPortals),
+	}
+	for v := range o.Labels {
+		for _, e := range o.Labels[v].Entries {
+			f.entryKey = append(f.entryKey, seen[e.Key])
+			f.portals = append(f.portals, e.Portals...)
+			f.portalOff = append(f.portalOff, int32(len(f.portals)))
+		}
+		f.entryOff[v+1] = int32(len(f.entryKey))
+	}
+	f.derive()
+	return f, nil
+}
+
+// sweepPortal is one precomputed step of pairMin's merged sweep: the
+// portal's position plus the two derived terms the sweep actually
+// combines.
+type sweepPortal struct {
+	pos  float64 // portals[i].Pos
+	sum  float64 // fl(portals[i].Dist + portals[i].Pos)
+	diff float64 // fl(portals[i].Dist - portals[i].Pos)
+}
+
+// derive materializes the sweep view of the portal pool. The sums and
+// differences are rounded here exactly as pairMin rounds them
+// (left-associated fl(Dist+Pos), fl(Dist−Pos)), so the sweep's candidate
+// values — and therefore Query answers — stay bit-identical to the
+// pointer form.
+func (f *Flat) derive() {
+	f.sweep = make([]sweepPortal, len(f.portals))
+	for i, p := range f.portals {
+		f.sweep[i] = sweepPortal{pos: p.Pos, sum: p.Dist + p.Pos, diff: p.Dist - p.Pos}
+	}
+}
+
+// N returns the number of labeled vertices.
+func (f *Flat) N() int { return f.n }
+
+// Eps returns the ε the source oracle was built with.
+func (f *Flat) Eps() float64 { return f.eps }
+
+// NumKeys returns the number of interned separator-path keys.
+func (f *Flat) NumKeys() int { return len(f.keys) }
+
+// NumEntries returns the total entry count across all labels.
+func (f *Flat) NumEntries() int { return len(f.entryKey) }
+
+// NumPortals returns the size of the contiguous portal pool.
+func (f *Flat) NumPortals() int { return len(f.portals) }
+
+// SetMetrics attaches (or, with nil, detaches) serving metrics:
+// "oracle.query_ns" and "oracle.query_portals" observe single queries
+// (same instruments as the pointer oracle), "oracle.batch_qps" records the
+// throughput of the last QueryBatch, and "oracle.flat_bytes" is set once
+// to the encoded size of this Flat.
+func (f *Flat) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		f.qLatency, f.qPortals, f.batchQPS = nil, nil, nil
+		return
+	}
+	f.qLatency = reg.Histogram("oracle.query_ns")
+	f.qPortals = reg.Histogram("oracle.query_portals")
+	f.batchQPS = reg.Gauge("oracle.batch_qps")
+	reg.Gauge("oracle.flat_bytes").Set(int64(f.EncodedSize()))
+}
+
+// Query returns the same (1+ε)-approximate distance as the source
+// Oracle.Query, bit for bit. It is goroutine-safe and allocation-free;
+// malformed vertex IDs report +Inf. With metrics attached it observes the
+// query latency and portal work, including on the u == v fast path.
+func (f *Flat) Query(u, v int) float64 {
+	if u < 0 || v < 0 || u >= f.n || v >= f.n {
+		return math.Inf(1)
+	}
+	if f.qLatency == nil {
+		if u == v {
+			return 0
+		}
+		est, _ := f.query(u, v)
+		return est
+	}
+	start := time.Now()
+	if u == v {
+		f.qLatency.Observe(float64(time.Since(start)))
+		f.qPortals.Observe(0)
+		return 0
+	}
+	est, portals := f.query(u, v)
+	f.qLatency.Observe(float64(time.Since(start)))
+	f.qPortals.Observe(float64(portals))
+	return est
+}
+
+// query is the flat merge-join: two CSR entry ranges advance on int32 key
+// IDs; matched entries run pairMin's merged sweep inline over the derived
+// pPos/pSum/pDiff arrays (one load and one add per portal, tails drained
+// without the interleave test). The candidate values and their fold order
+// are exactly queryLabels'/pairMin's — min over an identical multiset —
+// which the differential tests pin down bit for bit.
+//
+//pathsep:hotpath
+func (f *Flat) query(u, v int) (float64, int) {
+	best := math.Inf(1)
+	portals := 0
+	ek, po, sp := f.entryKey, f.portalOff, f.sweep
+	i, iEnd := f.entryOff[u], f.entryOff[u+1]
+	j, jEnd := f.entryOff[v], f.entryOff[v+1]
+	for i < iEnd && j < jEnd {
+		a, b := ek[i], ek[j]
+		switch {
+		case a == b:
+			ia, iaEnd := po[i], po[i+1]
+			ib, ibEnd := po[j], po[j+1]
+			portals += int(iaEnd-ia) + int(ibEnd-ib)
+			minA, minB := math.Inf(1), math.Inf(1)
+			if ia < iaEnd && ib < ibEnd {
+				// Only the advanced side reloads; the other stays in
+				// registers across iterations.
+				pa, pb := sp[ia], sp[ib]
+				for {
+					if pa.pos <= pb.pos {
+						if est := pa.sum + minB; est < best {
+							best = est
+						}
+						if pa.diff < minA {
+							minA = pa.diff
+						}
+						if ia++; ia == iaEnd {
+							break
+						}
+						pa = sp[ia]
+					} else {
+						if est := pb.sum + minA; est < best {
+							best = est
+						}
+						if pb.diff < minB {
+							minB = pb.diff
+						}
+						if ib++; ib == ibEnd {
+							break
+						}
+						pb = sp[ib]
+					}
+				}
+			}
+			for ; ia < iaEnd; ia++ {
+				if est := sp[ia].sum + minB; est < best {
+					best = est
+				}
+			}
+			for ; ib < ibEnd; ib++ {
+				if est := sp[ib].sum + minA; est < best {
+					best = est
+				}
+			}
+			i++
+			j++
+		case a < b:
+			i++
+		default:
+			j++
+		}
+	}
+	return best, portals
+}
+
+// answer is Query without instrumentation: the per-pair unit of QueryBatch.
+//
+//pathsep:hotpath
+func (f *Flat) answer(u, v int) float64 {
+	if u < 0 || v < 0 || u >= f.n || v >= f.n {
+		return math.Inf(1)
+	}
+	if u == v {
+		return 0
+	}
+	est, _ := f.query(u, v)
+	return est
+}
+
+// Pair is one (U, V) query of a batch.
+type Pair struct {
+	U, V int32
+}
+
+// batchChunksPerWorker over-splits a batch so workers that hit cheap pairs
+// steal further chunks instead of idling.
+const batchChunksPerWorker = 8
+
+// QueryBatch answers pairs[i] into out[i] for every i, fanning the work
+// out over runtime.GOMAXPROCS(0) workers. out is reused when it has
+// sufficient capacity and allocated otherwise; the (possibly re-sliced)
+// result is returned, so callers amortize to zero allocations by passing
+// the previous batch's slice back in. Results are identical to calling
+// Query per pair (and therefore to Oracle.Query), for every worker count.
+// With metrics attached, the batch records its throughput in the
+// "oracle.batch_qps" gauge; per-query histograms are not touched.
+func (f *Flat) QueryBatch(pairs []Pair, out []float64) []float64 {
+	return f.QueryBatchWorkers(pairs, out, 0)
+}
+
+// QueryBatchWorkers is QueryBatch with an explicit worker-pool width
+// (0 means runtime.GOMAXPROCS(0), 1 runs serially on the caller).
+func (f *Flat) QueryBatchWorkers(pairs []Pair, out []float64, workers int) []float64 {
+	if cap(out) < len(pairs) {
+		out = make([]float64, len(pairs))
+	}
+	out = out[:len(pairs)]
+	if len(pairs) == 0 {
+		return out
+	}
+	start := time.Now()
+	pool := par.New(workers, nil)
+	chunks := pool.Workers() * batchChunksPerWorker
+	if chunks > len(pairs) {
+		chunks = len(pairs)
+	}
+	size := (len(pairs) + chunks - 1) / chunks
+	pool.ForEach(chunks, func(c int) {
+		lo := c * size
+		hi := lo + size
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		for i := lo; i < hi; i++ {
+			out[i] = f.answer(int(pairs[i].U), int(pairs[i].V))
+		}
+	})
+	pool.Finish()
+	if f.batchQPS != nil {
+		if ns := time.Since(start).Nanoseconds(); ns > 0 {
+			f.batchQPS.Set(int64(float64(len(pairs)) * 1e9 / float64(ns)))
+		}
+	}
+	return out
+}

@@ -1,0 +1,219 @@
+package oracle
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"unsafe"
+)
+
+// Flat binary format (little-endian throughout, all sections 4- or
+// 8-byte aligned relative to the buffer start):
+//
+//	[0]   magic 0xA7
+//	[1]   version 1
+//	[2:8] reserved (zero)
+//	[8]   n          uint64
+//	[16]  eps        float64 bits
+//	[24]  mode       uint64
+//	[32]  numKeys    uint64
+//	[40]  numEntries uint64
+//	[48]  numPortals uint64
+//	[56]  keys       numKeys × 8B   (node int32 | phase int16 | path int16)
+//	      entryOff   (n+1) × 4B     int32
+//	      entryKey   numEntries × 4B int32
+//	      portalOff  (numEntries+1) × 4B int32
+//	      pad to 8B
+//	      portals    numPortals × 16B (pos float64 | dist float64)
+//
+// The field order and widths match the in-memory layout of Key and Portal
+// on a little-endian host, so DecodeFlat can alias the sections straight
+// out of the byte slice (zero copy) whenever the buffer is 8-byte aligned;
+// otherwise — or on a big-endian host — it falls back to a copying decode
+// that reads the same bytes portably.
+const (
+	flatMagic   = 0xA7
+	flatVersion = 1
+	flatHeader  = 56
+)
+
+// hostLittleEndian reports whether this machine stores multi-byte values
+// little-endian (the layout the flat encoding is defined in).
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// flatSections computes the byte offsets of each section for the given
+// element counts. The returned total is the exact encoded size.
+type flatSections struct {
+	keys, entryOff, entryKey, portalOff, portals int
+	total                                        int
+}
+
+func flatLayout(n, numKeys, numEntries, numPortals int) flatSections {
+	var s flatSections
+	s.keys = flatHeader
+	s.entryOff = s.keys + 8*numKeys
+	s.entryKey = s.entryOff + 4*(n+1)
+	s.portalOff = s.entryKey + 4*numEntries
+	end := s.portalOff + 4*(numEntries+1)
+	s.portals = (end + 7) &^ 7 // align the float64 pool
+	s.total = s.portals + 16*numPortals
+	return s
+}
+
+// EncodedSize returns the exact byte length of Encode's output.
+func (f *Flat) EncodedSize() int {
+	return flatLayout(f.n, len(f.keys), len(f.entryKey), len(f.portals)).total
+}
+
+// Encode serializes the flat oracle. The output is 8-byte aligned by
+// construction (Go allocations of this size always are), so decoding it
+// back on a little-endian host takes the zero-copy path.
+func (f *Flat) Encode() []byte {
+	s := flatLayout(f.n, len(f.keys), len(f.entryKey), len(f.portals))
+	buf := make([]byte, s.total)
+	buf[0] = flatMagic
+	buf[1] = flatVersion
+	le := binary.LittleEndian
+	le.PutUint64(buf[8:], uint64(f.n))
+	le.PutUint64(buf[16:], math.Float64bits(f.eps))
+	le.PutUint64(buf[24:], uint64(f.mode))
+	le.PutUint64(buf[32:], uint64(len(f.keys)))
+	le.PutUint64(buf[40:], uint64(len(f.entryKey)))
+	le.PutUint64(buf[48:], uint64(len(f.portals)))
+	for i, k := range f.keys {
+		at := s.keys + 8*i
+		le.PutUint32(buf[at:], uint32(k.Node))
+		le.PutUint16(buf[at+4:], uint16(k.Phase))
+		le.PutUint16(buf[at+6:], uint16(k.Path))
+	}
+	for i, v := range f.entryOff {
+		le.PutUint32(buf[s.entryOff+4*i:], uint32(v))
+	}
+	for i, v := range f.entryKey {
+		le.PutUint32(buf[s.entryKey+4*i:], uint32(v))
+	}
+	for i, v := range f.portalOff {
+		le.PutUint32(buf[s.portalOff+4*i:], uint32(v))
+	}
+	for i, p := range f.portals {
+		at := s.portals + 16*i
+		le.PutUint64(buf[at:], math.Float64bits(p.Pos))
+		le.PutUint64(buf[at+8:], math.Float64bits(p.Dist))
+	}
+	return buf
+}
+
+// DecodeFlat parses a flat oracle produced by Encode. On a little-endian
+// host with an 8-byte-aligned buffer the returned Flat aliases buf
+// directly — no per-label rebuilding, no slice-of-slices allocation —
+// so an oracle can serve straight from a mapped or fully read file; the
+// only per-decode work is offset validation and one linear pass deriving
+// the three sweep arrays (see Flat.derive). The caller must not mutate
+// buf afterwards. Misaligned buffers and big-endian hosts decode by
+// copying instead; the result is identical.
+//
+// All CSR offsets are validated before the Flat is returned, so a
+// malformed buffer yields an error, never a panicking Query.
+func DecodeFlat(buf []byte) (*Flat, error) {
+	if len(buf) < flatHeader || buf[0] != flatMagic {
+		return nil, fmt.Errorf("oracle: flat: bad magic or truncated header")
+	}
+	if buf[1] != flatVersion {
+		return nil, fmt.Errorf("oracle: flat: unsupported version %d", buf[1])
+	}
+	le := binary.LittleEndian
+	n := le.Uint64(buf[8:])
+	eps := math.Float64frombits(le.Uint64(buf[16:]))
+	mode := le.Uint64(buf[24:])
+	numKeys := le.Uint64(buf[32:])
+	numEntries := le.Uint64(buf[40:])
+	numPortals := le.Uint64(buf[48:])
+	const maxCount = math.MaxInt32
+	if n > maxCount || numKeys > maxCount || numEntries >= maxCount || numPortals > maxCount {
+		return nil, fmt.Errorf("oracle: flat: header counts out of range (n=%d keys=%d entries=%d portals=%d)",
+			n, numKeys, numEntries, numPortals)
+	}
+	s := flatLayout(int(n), int(numKeys), int(numEntries), int(numPortals))
+	if len(buf) != s.total {
+		return nil, fmt.Errorf("oracle: flat: size %d does not match header (want %d)", len(buf), s.total)
+	}
+
+	f := &Flat{n: int(n), eps: eps, mode: Mode(mode)}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&buf[0]))%8 == 0 {
+		f.buf = buf
+		if numKeys > 0 {
+			f.keys = unsafe.Slice((*Key)(unsafe.Pointer(&buf[s.keys])), numKeys)
+		}
+		f.entryOff = unsafe.Slice((*int32)(unsafe.Pointer(&buf[s.entryOff])), n+1)
+		if numEntries > 0 {
+			f.entryKey = unsafe.Slice((*int32)(unsafe.Pointer(&buf[s.entryKey])), numEntries)
+		}
+		f.portalOff = unsafe.Slice((*int32)(unsafe.Pointer(&buf[s.portalOff])), numEntries+1)
+		if numPortals > 0 {
+			f.portals = unsafe.Slice((*Portal)(unsafe.Pointer(&buf[s.portals])), numPortals)
+		}
+	} else {
+		f.keys = make([]Key, numKeys)
+		for i := range f.keys {
+			at := s.keys + 8*i
+			f.keys[i] = Key{
+				Node:  int32(le.Uint32(buf[at:])),
+				Phase: int16(le.Uint16(buf[at+4:])),
+				Path:  int16(le.Uint16(buf[at+6:])),
+			}
+		}
+		f.entryOff = make([]int32, n+1)
+		for i := range f.entryOff {
+			f.entryOff[i] = int32(le.Uint32(buf[s.entryOff+4*i:]))
+		}
+		f.entryKey = make([]int32, numEntries)
+		for i := range f.entryKey {
+			f.entryKey[i] = int32(le.Uint32(buf[s.entryKey+4*i:]))
+		}
+		f.portalOff = make([]int32, numEntries+1)
+		for i := range f.portalOff {
+			f.portalOff[i] = int32(le.Uint32(buf[s.portalOff+4*i:]))
+		}
+		f.portals = make([]Portal, numPortals)
+		for i := range f.portals {
+			at := s.portals + 16*i
+			f.portals[i] = Portal{
+				Pos:  math.Float64frombits(le.Uint64(buf[at:])),
+				Dist: math.Float64frombits(le.Uint64(buf[at+8:])),
+			}
+		}
+	}
+	if err := f.validate(); err != nil {
+		return nil, err
+	}
+	f.derive()
+	return f, nil
+}
+
+// validate bounds-checks every CSR offset so the hot path can index
+// without guards.
+func (f *Flat) validate() error {
+	if f.entryOff[0] != 0 || int(f.entryOff[f.n]) != len(f.entryKey) {
+		return fmt.Errorf("oracle: flat: entry offsets do not span the entry table")
+	}
+	for v := 0; v < f.n; v++ {
+		if f.entryOff[v] > f.entryOff[v+1] {
+			return fmt.Errorf("oracle: flat: entry offsets decrease at vertex %d", v)
+		}
+	}
+	if f.portalOff[0] != 0 || int(f.portalOff[len(f.portalOff)-1]) != len(f.portals) {
+		return fmt.Errorf("oracle: flat: portal offsets do not span the pool")
+	}
+	for e := 0; e < len(f.entryKey); e++ {
+		if f.portalOff[e] > f.portalOff[e+1] {
+			return fmt.Errorf("oracle: flat: portal offsets decrease at entry %d", e)
+		}
+		if int(f.entryKey[e]) < 0 || int(f.entryKey[e]) >= len(f.keys) {
+			return fmt.Errorf("oracle: flat: entry %d references unknown key %d", e, f.entryKey[e])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,216 @@
+package oracle
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pathsep/internal/core"
+	"pathsep/internal/graph"
+	"pathsep/internal/obs"
+)
+
+// buildSeeded builds a pointer oracle over a seeded random graph: a tree
+// for even seeds, a sparse connected graph for odd ones.
+func buildSeeded(tb testing.TB, seed int64, n int, mode Mode) (*graph.Graph, *Oracle) {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var g *graph.Graph
+	if seed%2 == 0 {
+		g = graph.RandomTree(n, graph.UniformWeights(1, 4), rng)
+	} else {
+		g = graph.ConnectedGNM(n, 2*n, graph.UniformWeights(0.5, 2), rng)
+	}
+	dec, err := core.Decompose(g, core.Options{Strategy: core.Auto{}})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	o, err := Build(dec, Options{Epsilon: 0.25, Mode: mode})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return g, o
+}
+
+// TestFreezeRoundTrip pins the flat accessors and the exact Encode /
+// DecodeFlat round trip against the source oracle's accounting.
+func TestFreezeRoundTrip(t *testing.T) {
+	_, o := buildSeeded(t, 4, 60, CoverExact)
+	fl, err := o.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl.N() != o.N {
+		t.Fatalf("N = %d, want %d", fl.N(), o.N)
+	}
+	if !core.SameDist(fl.Eps(), o.Eps) {
+		t.Fatalf("Eps = %v, want %v", fl.Eps(), o.Eps)
+	}
+	if fl.NumPortals() != o.SpacePortals() {
+		t.Fatalf("NumPortals = %d, want %d", fl.NumPortals(), o.SpacePortals())
+	}
+	entries := 0
+	for v := range o.Labels {
+		entries += len(o.Labels[v].Entries)
+	}
+	if fl.NumEntries() != entries {
+		t.Fatalf("NumEntries = %d, want %d", fl.NumEntries(), entries)
+	}
+	dec, err := DecodeFlat(fl.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < o.N; u++ {
+		for v := 0; v < o.N; v++ {
+			if math.Float64bits(dec.Query(u, v)) != math.Float64bits(o.Query(u, v)) {
+				t.Fatalf("decoded Query(%d,%d) = %v, oracle %v", u, v, dec.Query(u, v), o.Query(u, v))
+			}
+		}
+	}
+}
+
+// TestFlatSelfQueryObserved checks the metrics parity of the fast paths:
+// both the pointer oracle and the flat form must observe self queries, so
+// QPS accounting covers all traffic.
+func TestFlatSelfQueryObserved(t *testing.T) {
+	_, o := buildSeeded(t, 2, 30, CoverExact)
+	reg := obs.New()
+	o.SetMetrics(reg)
+	fl, err := o.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl.SetMetrics(reg)
+
+	lat := reg.Histogram("oracle.query_ns")
+	base := lat.Count()
+	if got := o.Query(3, 3); !core.IsZeroDist(got) {
+		t.Fatalf("Query(3,3) = %v", got)
+	}
+	if lat.Count() != base+1 {
+		t.Fatalf("self query not observed by Oracle.Query: count %d, want %d", lat.Count(), base+1)
+	}
+	if got := fl.Query(3, 3); !core.IsZeroDist(got) {
+		t.Fatalf("Flat.Query(3,3) = %v", got)
+	}
+	if lat.Count() != base+2 {
+		t.Fatalf("self query not observed by Flat.Query: count %d, want %d", lat.Count(), base+2)
+	}
+	// Out-of-range queries stay unobserved on both surfaces.
+	o.Query(-1, 3)
+	fl.Query(-1, 3)
+	if lat.Count() != base+2 {
+		t.Fatalf("out-of-range query observed: count %d, want %d", lat.Count(), base+2)
+	}
+	if reg.Gauge("oracle.flat_bytes").Value() != int64(fl.EncodedSize()) {
+		t.Fatalf("oracle.flat_bytes = %d, want %d", reg.Gauge("oracle.flat_bytes").Value(), fl.EncodedSize())
+	}
+}
+
+// TestQueryBatchRecordsQPS checks the batch throughput gauge.
+func TestQueryBatchRecordsQPS(t *testing.T) {
+	_, o := buildSeeded(t, 2, 30, CoverExact)
+	fl, err := o.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New()
+	fl.SetMetrics(reg)
+	pairs := make([]Pair, 256)
+	rng := rand.New(rand.NewSource(7))
+	for i := range pairs {
+		pairs[i] = Pair{U: int32(rng.Intn(30)), V: int32(rng.Intn(30))}
+	}
+	fl.QueryBatch(pairs, nil)
+	if reg.Gauge("oracle.batch_qps").Value() <= 0 {
+		t.Fatal("oracle.batch_qps not recorded")
+	}
+}
+
+// FuzzFlatRoundTrip drives Freeze → Encode → DecodeFlat over seeded
+// random graphs and checks query equivalence against the pointer oracle
+// on sampled pairs (including self and out-of-range IDs).
+func FuzzFlatRoundTrip(f *testing.F) {
+	f.Add(int64(2), uint8(24), false)
+	f.Add(int64(3), uint8(31), true)
+	f.Add(int64(10), uint8(5), false)
+
+	f.Fuzz(func(t *testing.T, seed int64, size uint8, portal bool) {
+		n := 2 + int(size)%38
+		mode := CoverExact
+		if portal {
+			mode = CoverPortal
+		}
+		_, o := buildSeeded(t, seed, n, mode)
+		fl, err := o.Freeze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := DecodeFlat(fl.Encode())
+		if err != nil {
+			t.Fatalf("round trip decode: %v", err)
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		for q := 0; q < 200; q++ {
+			u, v := rng.Intn(n+2)-1, rng.Intn(n+2)-1
+			want := o.Query(u, v)
+			if got := fl.Query(u, v); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("frozen Query(%d,%d) = %v, oracle %v", u, v, got, want)
+			}
+			if got := dec.Query(u, v); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("decoded Query(%d,%d) = %v, oracle %v", u, v, got, want)
+			}
+		}
+	})
+}
+
+// FuzzDecodeFlat feeds arbitrary bytes to DecodeFlat: inputs that parse
+// must re-encode to the same bytes and answer queries without panicking.
+func FuzzDecodeFlat(f *testing.F) {
+	_, o := buildSeeded(f, 2, 20, CoverExact)
+	fl, err := o.Freeze()
+	if err != nil {
+		f.Fatal(err)
+	}
+	enc := fl.Encode()
+	f.Add(enc)
+	f.Add(enc[:len(enc)/2])
+	f.Add([]byte{flatMagic, flatVersion})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Decode from an aligned copy and a deliberately misaligned copy,
+		// not from data itself: DecodeFlat branches on buffer alignment,
+		// and the fuzz engine hands inputs at arbitrary offsets, which
+		// would make coverage flip between the zero-copy and copying
+		// paths run to run and stall the minimizer. This way both paths
+		// run deterministically on every input.
+		aligned := make([]byte, len(data))
+		copy(aligned, data)
+		shifted := make([]byte, len(data)+1)
+		copy(shifted[1:], data)
+
+		fl, err := DecodeFlat(aligned)
+		flCopy, errCopy := DecodeFlat(shifted[1:])
+		if (err == nil) != (errCopy == nil) {
+			t.Fatalf("decode paths disagree: zero-copy err=%v, copying err=%v", err, errCopy)
+		}
+		if err != nil {
+			return
+		}
+		canon := fl.Encode()
+		fl2, err := DecodeFlat(canon)
+		if err != nil {
+			t.Fatalf("re-decode of own encoding failed: %v", err)
+		}
+		n := fl.N()
+		for _, pair := range [][2]int{{0, 0}, {0, n - 1}, {-1, 3}, {n, n}} {
+			a := fl.Query(pair[0], pair[1])
+			for _, other := range []*Flat{flCopy, fl2} {
+				if b := other.Query(pair[0], pair[1]); math.Float64bits(a) != math.Float64bits(b) {
+					t.Fatalf("Query(%d,%d): %v vs %v", pair[0], pair[1], a, b)
+				}
+			}
+		}
+	})
+}

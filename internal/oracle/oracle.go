@@ -456,14 +456,21 @@ func (o *Oracle) Query(u, v int) float64 {
 	if u < 0 || v < 0 || u >= len(o.Labels) || v >= len(o.Labels) {
 		return math.Inf(1)
 	}
-	if u == v {
-		return 0
-	}
 	if o.qLatency == nil {
+		if u == v {
+			return 0
+		}
 		est, _ := queryLabels(&o.Labels[u], &o.Labels[v])
 		return est
 	}
 	start := time.Now()
+	// Self queries are answered on a fast path but still observed (zero
+	// portals compared), so QPS and latency numbers reflect all traffic.
+	if u == v {
+		o.qLatency.Observe(float64(time.Since(start)))
+		o.qPortals.Observe(0)
+		return 0
+	}
 	est, portals := queryLabels(&o.Labels[u], &o.Labels[v])
 	o.qLatency.Observe(float64(time.Since(start)))
 	o.qPortals.Observe(float64(portals))
@@ -483,6 +490,8 @@ func QueryLabels(lu, lv *Label) float64 {
 
 // queryLabels is QueryLabels plus the number of portals examined (the
 // query's work, reported by the oracle.query_portals histogram).
+//
+//pathsep:hotpath
 func queryLabels(lu, lv *Label) (float64, int) {
 	best := math.Inf(1)
 	portals := 0
@@ -509,6 +518,8 @@ func queryLabels(lu, lv *Label) (float64, int) {
 // pairMin computes min over portals p in a, q in b of
 // p.Dist + |p.Pos - q.Pos| + q.Dist in linear time via a merged sweep
 // (both lists are sorted by position).
+//
+//pathsep:hotpath
 func pairMin(a, b []Portal) float64 {
 	best := math.Inf(1)
 	// Sweep left-to-right: for each element of one list, combine with the

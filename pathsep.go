@@ -101,6 +101,18 @@ type Oracle = oracle.Oracle
 // Label is a vertex's distance label (the distributed form of the oracle).
 type Label = oracle.Label
 
+// FlatOracle is the compiled read-only serving form of an Oracle: a
+// struct-of-arrays layout with one contiguous portal pool, CSR entry
+// offsets and interned separator-path keys. Build one with
+// Oracle.Freeze(); queries are goroutine-safe, allocation-free and
+// bit-identical to the pointer form. FlatOracle.QueryBatch answers a
+// slice of pairs into a caller-owned buffer, fanning out over the worker
+// pool.
+type FlatOracle = oracle.Flat
+
+// QueryPair is one (U, V) query of a FlatOracle batch.
+type QueryPair = oracle.Pair
+
 // Router is the compact routing scheme.
 type Router = routing.Router
 
@@ -233,6 +245,12 @@ func NewOracle(d *Decomposition, opt OracleOptions) (*Oracle, error) {
 // QueryLabels answers an approximate distance query from two labels alone
 // (the distributed distance-labeling scheme of Theorem 2).
 func QueryLabels(a, b *Label) float64 { return oracle.QueryLabels(a, b) }
+
+// DecodeFlatOracle parses a flat oracle produced by FlatOracle.Encode. On
+// little-endian hosts with an 8-byte-aligned buffer the result serves
+// straight from buf without rebuilding any per-label structure (zero
+// copy); the caller must not mutate buf afterwards.
+func DecodeFlatOracle(buf []byte) (*FlatOracle, error) { return oracle.DecodeFlat(buf) }
 
 // RouterOptions configures NewRouter.
 type RouterOptions struct {
@@ -382,6 +400,11 @@ type TreeLabeling = labeling.TreeLabeling
 func NewTreeLabeling(g *Graph) (*TreeLabeling, error) {
 	return labeling.BuildTree(g)
 }
+
+// FlatTreeLabeling is the frozen serving form of a TreeLabeling (the same
+// CSR layout as FlatOracle); build one with TreeLabeling.Freeze(). Queries
+// are exact, allocation-free and goroutine-safe.
+type FlatTreeLabeling = labeling.FlatTree
 
 // Float comparison helpers (re-exported from internal/core). Distances
 // are float64 sums accumulated along different computation paths, so raw
