@@ -1,8 +1,9 @@
 # Tier-1+ verification for the pathsep repo.
 #
-#   make check      vet + lint + build + race tests + fuzz smoke + obs-overhead + parallel-speedup + query-serving gates
+#   make check      vet + lint + build + race tests + determinism + fuzz smoke + obs-overhead + parallel-speedup + query-serving gates
 #   make test       plain test run (the tier-1 gate)
 #   make lint       run the repo-specific analyzers (cmd/pathsep-lint) over ./...
+#   make determinism  full schedule-matrix byte-identity gate (GOMAXPROCS x workers x shuffled submission)
 #   make fuzz-short short fuzz smoke of the graph/label/address decoders
 #   make bench-obs  regenerate BENCH_obs.json (metrics on vs. off numbers)
 #   make bench-parallel  parallel-build speedup gate (BENCH_parallel.json)
@@ -17,9 +18,9 @@ FUZZMINTIME ?= 50x
 LINT_BIN := bin/pathsep-lint
 LINT_SRC := $(wildcard cmd/pathsep-lint/*.go internal/analyzers/*.go internal/analyzers/*/*.go)
 
-.PHONY: check test vet lint fuzz-short build race bench-overhead bench-obs bench-parallel bench-query
+.PHONY: check test vet lint lint-json determinism fuzz-short build race bench-overhead bench-obs bench-parallel bench-query
 
-check: vet lint build race fuzz-short bench-overhead bench-parallel bench-query
+check: vet lint build race determinism fuzz-short bench-overhead bench-parallel bench-query
 
 test:
 	$(GO) build ./...
@@ -36,21 +37,40 @@ $(LINT_BIN): $(LINT_SRC)
 lint: $(LINT_BIN)
 	$(GO) vet -vettool=$(LINT_BIN) ./...
 
+# Machine-readable lint: one JSON diagnostic per line (plus ::error
+# annotations under GITHUB_ACTIONS). CI uses this form.
+lint-json: $(LINT_BIN)
+	./$(LINT_BIN) -json ./...
+
 build:
 	$(GO) build ./...
 
 race:
 	$(GO) test -race ./...
 
+# The runtime determinism gate: rebuild the oracle on three graph
+# families across GOMAXPROCS {1,4}, workers {1,2,4,0} and shuffled task
+# submission, and fail on any byte diff of the pointer or flat encodings.
+determinism:
+	DETERMINISM_GATE=1 $(GO) test -run TestDeterminismGate -v .
+
+# Fuzz targets as pkg:Func pairs; adding one is a one-line change here.
+FUZZ_TARGETS := \
+	internal/graph:FuzzGraphIO \
+	internal/oracle:FuzzDecodeLabel \
+	internal/oracle:FuzzDecodeOracle \
+	internal/oracle:FuzzDecodeFlat \
+	internal/oracle:FuzzFlatRoundTrip \
+	internal/routing:FuzzDecodeAddr
+
 # Short coverage-guided runs of every fuzz target; seed corpora alone run
 # in plain `go test`, this also mutates for FUZZTIME each.
 fuzz-short:
-	$(GO) test -fuzz=FuzzGraphIO -fuzztime=$(FUZZTIME) -fuzzminimizetime=$(FUZZMINTIME) ./internal/graph/
-	$(GO) test -fuzz=FuzzDecodeLabel -fuzztime=$(FUZZTIME) -fuzzminimizetime=$(FUZZMINTIME) ./internal/oracle/
-	$(GO) test -fuzz=FuzzDecodeOracle -fuzztime=$(FUZZTIME) -fuzzminimizetime=$(FUZZMINTIME) ./internal/oracle/
-	$(GO) test -fuzz=FuzzDecodeFlat -fuzztime=$(FUZZTIME) -fuzzminimizetime=$(FUZZMINTIME) ./internal/oracle/
-	$(GO) test -fuzz=FuzzFlatRoundTrip -fuzztime=$(FUZZTIME) -fuzzminimizetime=$(FUZZMINTIME) ./internal/oracle/
-	$(GO) test -fuzz=FuzzDecodeAddr -fuzztime=$(FUZZTIME) -fuzzminimizetime=$(FUZZMINTIME) ./internal/routing/
+	@set -e; for t in $(FUZZ_TARGETS); do \
+		pkg=$${t%%:*}; fn=$${t##*:}; \
+		echo "$(GO) test -fuzz=$$fn ./$$pkg/"; \
+		$(GO) test -fuzz=$$fn -fuzztime=$(FUZZTIME) -fuzzminimizetime=$(FUZZMINTIME) ./$$pkg/; \
+	done
 
 # The disabled-path gate: must report 0 allocs/op on QueryDisabled.
 bench-overhead:

@@ -1,6 +1,7 @@
 // Command pathsep-lint is the repo's custom static-analysis suite (see
-// internal/analyzers): five go/analysis passes that enforce pathsep's
-// correctness invariants.
+// internal/analyzers): the go/analysis passes that enforce pathsep's
+// correctness invariants, from nil-safe observability to the determinism
+// trio (maporder, slotwrite, sortcmp).
 //
 // It is a standard unitchecker binary, so it runs in two ways:
 //
@@ -11,12 +12,25 @@
 // package patterns, so the go command performs package loading, caching and
 // dependency export-data plumbing in both modes. `make lint` builds the
 // cached binary under bin/ and runs it over ./....
+//
+// With -json as the first argument, standalone mode emits one JSON
+// diagnostic per line on stdout — {"file","line","col","analyzer",
+// "message"} — instead of go vet's grouped text, and exits 1 when there
+// is at least one finding. Under GITHUB_ACTIONS=true it also prints
+// ::error workflow annotations, which is how CI renders findings inline
+// on pull requests.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
+	"sort"
+	"strconv"
 	"strings"
 
 	"golang.org/x/tools/go/analysis/unitchecker"
@@ -30,8 +44,12 @@ func main() {
 		unitchecker.Main(analyzers.All()...)
 		return
 	}
+	jsonMode := len(args) > 0 && args[0] == "-json"
+	if jsonMode {
+		args = args[1:]
+	}
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: pathsep-lint <package patterns>  (e.g. pathsep-lint ./...)")
+		fmt.Fprintln(os.Stderr, "usage: pathsep-lint [-json] <package patterns>  (e.g. pathsep-lint ./...)")
 		os.Exit(2)
 	}
 	self, err := os.Executable()
@@ -39,12 +57,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pathsep-lint: cannot locate own binary: %v\n", err)
 		os.Exit(1)
 	}
+	if jsonMode {
+		os.Exit(runJSON(self, args))
+	}
 	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
 	cmd.Stdout = os.Stdout
 	cmd.Stderr = os.Stderr
 	cmd.Stdin = os.Stdin
 	if err := cmd.Run(); err != nil {
-		if ee, ok := err.(*exec.ExitError); ok {
+		var ee *exec.ExitError
+		if errors.As(err, &ee) {
 			os.Exit(ee.ExitCode())
 		}
 		fmt.Fprintf(os.Stderr, "pathsep-lint: %v\n", err)
@@ -62,4 +84,130 @@ func vettoolInvocation(args []string) bool {
 		}
 	}
 	return false
+}
+
+// finding is one NDJSON output record.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// runJSON re-execs `go vet -vettool=<self> -json`, reflows the
+// per-package JSON blocks it writes to stderr into one diagnostic per
+// stdout line, and returns the exit code: 1 when any finding fired, the
+// vet error code when vet itself failed, 0 otherwise.
+func runJSON(self string, patterns []string) int {
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self, "-json"}, patterns...)...)
+	var stderr bytes.Buffer
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = &stderr
+	runErr := cmd.Run()
+
+	// go vet -json interleaves "# <package>" comment lines with one JSON
+	// object per package; strip the comments and decode the object stream.
+	var stream bytes.Buffer
+	for _, line := range strings.Split(stderr.String(), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		stream.WriteString(line)
+		stream.WriteByte('\n')
+	}
+	var findings []finding
+	dec := json.NewDecoder(bytes.NewReader(stream.Bytes()))
+	for {
+		var pkgs map[string]map[string][]struct {
+			Posn    string `json:"posn"`
+			Message string `json:"message"`
+		}
+		if err := dec.Decode(&pkgs); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			// Not a diagnostics stream: a build or vet failure. Relay it
+			// verbatim so the cause is visible.
+			os.Stderr.Write(stderr.Bytes())
+			var ee *exec.ExitError
+			if errors.As(runErr, &ee) {
+				return ee.ExitCode()
+			}
+			return 1
+		}
+		for _, byAnalyzer := range pkgs {
+			for analyzer, diags := range byAnalyzer {
+				for _, d := range diags {
+					file, line, col := splitPosn(d.Posn)
+					findings = append(findings, finding{
+						File: file, Line: line, Col: col,
+						Analyzer: analyzer, Message: d.Message,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+
+	out := json.NewEncoder(os.Stdout)
+	annotate := os.Getenv("GITHUB_ACTIONS") == "true"
+	for _, f := range findings {
+		if err := out.Encode(f); err != nil {
+			fmt.Fprintf(os.Stderr, "pathsep-lint: %v\n", err)
+			return 1
+		}
+		if annotate {
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=%s::%s\n",
+				f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
+	}
+	switch {
+	case len(findings) > 0:
+		return 1
+	case runErr != nil:
+		os.Stderr.Write(stderr.Bytes())
+		var ee *exec.ExitError
+		if errors.As(runErr, &ee) {
+			return ee.ExitCode()
+		}
+		return 1
+	}
+	return 0
+}
+
+// splitPosn splits a "file.go:line:col" position, tolerating a missing
+// column or line.
+func splitPosn(posn string) (file string, line, col int) {
+	file = posn
+	for _, p := range []*int{&col, &line} {
+		i := strings.LastIndexByte(file, ':')
+		if i < 0 {
+			break
+		}
+		n, err := strconv.Atoi(file[i+1:])
+		if err != nil {
+			break
+		}
+		*p = n
+		file = file[:i]
+	}
+	if line == 0 && col != 0 {
+		line, col = col, 0 // only one numeric suffix: it was the line
+	}
+	return file, line, col
 }

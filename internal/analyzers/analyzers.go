@@ -8,6 +8,16 @@
 //   - subgraphmut: shared adjacency storage is never mutated downstream
 //   - errctx:      errors are wrapped with %w and never silently dropped
 //   - hotalloc:    //pathsep:hotpath query functions stay allocation-free
+//   - maporder:    map-range results never reach encoders or other
+//     order-sensitive sinks without a sort barrier
+//   - slotwrite:   par.ForEach/Fork tasks write only task-index-disjoint
+//     slots, never shared appends/maps/scalars
+//   - sortcmp:     sort.Slice less-functions are strict weak orderings and
+//     compare floats via core/floatcmp
+//
+// The determinism trio (maporder, slotwrite, sortcmp) shares the ssaflow
+// value-flow layer and is backed at runtime by `make determinism`, which
+// rebuilds the oracle under shuffled schedules and byte-compares encodings.
 //
 // The suite runs as `go vet -vettool=bin/pathsep-lint` (see cmd/pathsep-lint
 // and `make lint`), and each analyzer carries analysistest-style coverage
@@ -20,8 +30,11 @@ import (
 	"pathsep/internal/analyzers/errctx"
 	"pathsep/internal/analyzers/floatcmp"
 	"pathsep/internal/analyzers/hotalloc"
+	"pathsep/internal/analyzers/maporder"
 	"pathsep/internal/analyzers/obsnilguard"
 	"pathsep/internal/analyzers/seededrand"
+	"pathsep/internal/analyzers/slotwrite"
+	"pathsep/internal/analyzers/sortcmp"
 	"pathsep/internal/analyzers/subgraphmut"
 )
 
@@ -31,8 +44,11 @@ func All() []*analysis.Analyzer {
 		errctx.Analyzer,
 		floatcmp.Analyzer,
 		hotalloc.Analyzer,
+		maporder.Analyzer,
 		obsnilguard.Analyzer,
 		seededrand.Analyzer,
+		slotwrite.Analyzer,
+		sortcmp.Analyzer,
 		subgraphmut.Analyzer,
 	}
 }

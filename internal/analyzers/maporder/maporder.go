@@ -1,0 +1,414 @@
+// Package maporder flags map iteration whose order can leak into
+// serialized or order-sensitive outputs — the one class of
+// nondeterminism that silently breaks the repo's load-bearing guarantee
+// that every build of an oracle yields a byte-identical encoding
+// (TestParallelBuildDifferential, make determinism).
+//
+// The pass runs a conservative, flow-sensitive reachability walk over
+// each function body (on the ssaflow value-flow layer, the repo's
+// stand-in for go/ssa + buildssa):
+//
+//   - Sources: inside a `for ... range m` loop over a map, an append to a
+//     slice declared outside the loop, a string concatenation, or a float
+//     accumulation (+= and friends; float addition is not associative)
+//     taints the accumulated object with the loop's position. Map writes
+//     and slot writes indexed by the range key stay clean — their content
+//     does not depend on iteration order.
+//   - Propagation: assigning an expression that mentions a tainted object
+//     taints the destination if its type can carry an order (slice,
+//     array, string, float); len/cap results are exempt. copy() taints
+//     its destination.
+//   - Barriers: sort.Slice / sort.SliceStable / sort.Sort / sort.Stable /
+//     sort.Ints / sort.Float64s / sort.Strings and the slices.Sort*
+//     family clear the taint of the slice they sort — a canonical order
+//     has been imposed.
+//   - Sinks: a tainted value reaching serialization (a callee named
+//     Encode*/Marshal*/Write*/Fprint*/Append*), a sort.Search* input
+//     (binary search over a nondeterministically ordered slice), a
+//     channel send, a return statement, or any other call argument
+//     (conservative: the callee may serialize or compare). Calls into
+//     package testing are exempt — test-failure text may cite unsorted
+//     data.
+//
+// Each source is reported once, at its first sink, citing the map range
+// that produced it. The analysis is intra-procedural: values returned by
+// the function are flagged at the return (the caller cannot be analyzed
+// from here), which is exactly the conservative posture a determinism
+// invariant wants.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"pathsep/internal/analyzers/ssaflow"
+)
+
+// Analyzer is the maporder pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "maporder",
+	Doc:      "flag map-iteration order flowing into serialized or order-sensitive sinks without a sort barrier",
+	Requires: []*analysis.Analyzer{ssaflow.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	res := pass.ResultOf[ssaflow.Analyzer].(*ssaflow.Result)
+	for _, fn := range res.Funcs {
+		w := &walker{pass: pass, taint: ssaflow.NewTaint(pass.TypesInfo)}
+		w.stmts(fn.Body.List)
+	}
+	return nil, nil
+}
+
+// walker is the flow-sensitive state of one function body.
+type walker struct {
+	pass  *analysis.Pass
+	taint *ssaflow.Taint
+}
+
+func (w *walker) info() *types.Info { return w.pass.TypesInfo }
+
+func (w *walker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+// stmt interprets one statement. Branch bodies share the parent taint
+// store (a taint acquired in any branch survives — conservative union);
+// loop bodies run twice so taints created late in an iteration reach
+// uses earlier in the next one.
+func (w *walker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.RangeStmt:
+		if t := w.info().TypeOf(s.X); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				w.mapRange(s)
+				return
+			}
+		}
+		w.calls(s.X)
+		w.stmts(s.Body.List)
+		w.stmts(s.Body.List)
+	case *ast.AssignStmt:
+		w.assign(s)
+	case *ast.DeclStmt:
+		w.declStmt(s)
+	case *ast.ExprStmt:
+		w.calls(s.X)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.calls(r)
+			if src := w.taint.MentionedSource(r); src != nil && !src.Reported {
+				src.Reported = true
+				w.pass.Reportf(s.Pos(), "map-ordered value (accumulated at %s) returned without a sort barrier",
+					w.pass.Fset.Position(src.AccPos))
+			}
+		}
+	case *ast.SendStmt:
+		w.calls(s.Value)
+		if src := w.taint.MentionedSource(s.Value); src != nil && !src.Reported {
+			src.Reported = true
+			w.pass.Reportf(s.Pos(), "map-ordered value (accumulated at %s) sent on a channel without a sort barrier",
+				w.pass.Fset.Position(src.AccPos))
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.calls(s.Cond)
+		w.stmts(s.Body.List)
+		if s.Else != nil {
+			w.stmt(s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.calls(s.Cond)
+		}
+		for pass := 0; pass < 2; pass++ {
+			w.stmts(s.Body.List)
+			if s.Post != nil {
+				w.stmt(s.Post)
+			}
+		}
+	case *ast.BlockStmt:
+		w.stmts(s.List)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.calls(s.Tag)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					w.calls(e)
+				}
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					w.stmt(cc.Comm)
+				}
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.DeferStmt:
+		w.sinkCall(s.Call)
+	case *ast.GoStmt:
+		w.sinkCall(s.Call)
+	}
+}
+
+// mapRange handles a range over a map: it seeds the taint store with the
+// loop's order-carrying accumulations, then interprets the body (twice,
+// so sinks inside the loop see the taint too).
+func (w *walker) mapRange(s *ast.RangeStmt) {
+	w.calls(s.X)
+	src := &ssaflow.Source{RangePos: s.Pos()}
+	ast.Inspect(s.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // analyzed as its own function
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			obj := ssaflow.BaseObject(w.info(), lhs)
+			if obj == nil || ssaflow.DeclaredWithin(obj, s) {
+				continue // per-iteration local: its lifetime ends with the iteration
+			}
+			// Slot writes (m2[k] = v, s[k] = v) keyed by the iteration do
+			// not depend on order; only accumulations do.
+			if _, isIdent := lhs.(*ast.Ident); !isIdent {
+				continue
+			}
+			if !ssaflow.IsOrderCarrying(w.info().TypeOf(lhs)) {
+				continue
+			}
+			if w.accumulates(as, i, obj) {
+				cp := *src
+				cp.AccPos = as.Pos()
+				w.taint.Add(obj, &cp)
+			}
+		}
+		return true
+	})
+	for pass := 0; pass < 2; pass++ {
+		w.stmts(s.Body.List)
+	}
+}
+
+// accumulates reports whether assignment position i of as folds the old
+// value of obj into the new one: x = append(x, ...), x += ..., or
+// x = x <op> ... — the shapes whose result depends on iteration order.
+func (w *walker) accumulates(as *ast.AssignStmt, i int, obj types.Object) bool {
+	if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+		return true // compound assignment (+=, -=, ...)
+	}
+	if len(as.Rhs) == 0 {
+		return false
+	}
+	rhs := as.Rhs[min(i, len(as.Rhs)-1)]
+	return ssaflow.Mentions(w.info(), rhs, func(o types.Object) bool { return o == obj })
+}
+
+// declStmt treats `var x = expr` like an assignment.
+func (w *walker) declStmt(s *ast.DeclStmt) {
+	gd, ok := s.Decl.(*ast.GenDecl)
+	if !ok {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, v := range vs.Values {
+			w.calls(v)
+		}
+		for i, name := range vs.Names {
+			obj := w.info().ObjectOf(name)
+			var rhs ast.Expr
+			if i < len(vs.Values) {
+				rhs = vs.Values[i]
+			} else if len(vs.Values) == 1 {
+				rhs = vs.Values[0]
+			}
+			if rhs == nil {
+				w.taint.Kill(obj)
+				continue
+			}
+			if src := w.taint.MentionedSource(rhs); src != nil && ssaflow.IsOrderCarrying(w.info().TypeOf(name)) {
+				w.taint.Add(obj, src)
+			} else {
+				w.taint.Kill(obj)
+			}
+		}
+	}
+}
+
+// assign propagates taint through an assignment and applies strong kills
+// on whole-object reassignment.
+func (w *walker) assign(s *ast.AssignStmt) {
+	for _, r := range s.Rhs {
+		w.calls(r)
+	}
+	for i, lhs := range s.Lhs {
+		obj := ssaflow.BaseObject(w.info(), lhs)
+		if obj == nil {
+			continue
+		}
+		var rhs ast.Expr
+		if len(s.Rhs) == len(s.Lhs) {
+			rhs = s.Rhs[i]
+		} else if len(s.Rhs) == 1 {
+			rhs = s.Rhs[0] // tuple assignment: all results share the call
+		}
+		tainted := false
+		if rhs != nil {
+			if src := w.taint.MentionedSource(rhs); src != nil {
+				if ssaflow.IsOrderCarrying(w.info().TypeOf(lhs)) {
+					w.taint.Add(obj, src)
+					tainted = true
+				}
+			}
+		}
+		// Compound assignments keep the old value live; only a plain
+		// whole-identifier rebind kills.
+		if !tainted && (s.Tok == token.ASSIGN || s.Tok == token.DEFINE) {
+			if _, isIdent := lhs.(*ast.Ident); isIdent {
+				w.taint.Kill(obj)
+			}
+		}
+	}
+}
+
+// calls visits every call expression inside e (outermost first, skipping
+// nested function literals) and applies barrier, propagation and sink
+// rules.
+func (w *walker) calls(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			w.sinkCall(call)
+		}
+		return true
+	})
+}
+
+// sortBarrier returns the expression a call imposes an order on, or nil:
+// the first argument of the sort.* / slices.Sort* families.
+func sortBarrier(info *types.Info, call *ast.CallExpr) ast.Expr {
+	fn := ssaflow.CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || len(call.Args) == 0 {
+		return nil
+	}
+	switch fn.Pkg().Path() {
+	case "sort":
+		switch fn.Name() {
+		case "Slice", "SliceStable", "Sort", "Stable", "Ints", "Float64s", "Strings":
+			return call.Args[0]
+		}
+	case "slices":
+		switch fn.Name() {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return call.Args[0]
+		}
+	}
+	return nil
+}
+
+// serializationName reports whether a callee name promises to serialize
+// or emit its arguments.
+func serializationName(name string) bool {
+	for _, prefix := range []string{"Encode", "Marshal", "Write", "Fprint", "Append"} {
+		if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+			return true
+		}
+	}
+	return false
+}
+
+// sinkCall applies the barrier/sink rules to one call.
+func (w *walker) sinkCall(call *ast.CallExpr) {
+	info := w.info()
+	if target := sortBarrier(info, call); target != nil {
+		if obj := ssaflow.BaseObject(info, target); obj != nil {
+			w.taint.Kill(obj)
+		}
+		return
+	}
+	if w.taint.Empty() {
+		return
+	}
+	fn := ssaflow.CalleeFunc(info, call)
+	// Builtins: append/len/cap/delete never serialize; copy propagates
+	// order into its destination.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			if id.Name == "copy" && len(call.Args) == 2 {
+				if src := w.taint.MentionedSource(call.Args[1]); src != nil {
+					w.taint.Add(ssaflow.BaseObject(info, call.Args[0]), src)
+				}
+			}
+			return
+		}
+	}
+	// Conversions are not calls.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return
+	}
+	// Test plumbing may print unsorted data in failure messages.
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "testing" {
+		return
+	}
+	kind := "a call"
+	if fn != nil {
+		switch {
+		case serializationName(fn.Name()):
+			kind = fn.Name() + " (serialization)"
+		case fn.Pkg() != nil && fn.Pkg().Path() == "sort" && len(fn.Name()) > 6 && fn.Name()[:6] == "Search":
+			kind = fn.Name() + " (binary search)"
+		default:
+			kind = fn.Name()
+		}
+	}
+	for _, arg := range call.Args {
+		src := w.taint.MentionedSource(arg)
+		if src == nil || src.Reported {
+			continue
+		}
+		src.Reported = true
+		w.pass.Reportf(arg.Pos(), "map-ordered value (accumulated at %s) reaches %s without a sort barrier",
+			w.pass.Fset.Position(src.AccPos), kind)
+	}
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"pathsep/internal/analyzers/analyzertest"
+	"pathsep/internal/analyzers/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analyzertest.Run(t, "testdata", maporder.Analyzer, "a")
+}

@@ -1,0 +1,125 @@
+// Package a exercises the maporder analyzer: accumulations inside map
+// range loops must pass through a sort barrier before reaching any
+// serialized or order-sensitive sink.
+package a
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sort"
+)
+
+func emit(xs []int) {}
+
+// badReturn leaks map order through a returned key slice.
+func badReturn(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys // want `map-ordered value \(accumulated at .*\) returned without a sort barrier`
+}
+
+// badCall leaks map order into a call argument.
+func badCall(m map[int]string) {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	emit(keys) // want `map-ordered value \(accumulated at .*\) reaches emit without a sort barrier`
+}
+
+// badEncode leaks map order straight into a serializer.
+func badEncode(m map[int]uint32, buf *bytes.Buffer) {
+	var vals []uint32
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	binary.Write(buf, binary.LittleEndian, vals) // want `map-ordered value \(accumulated at .*\) reaches Write \(serialization\) without a sort barrier`
+}
+
+// badFloatSum leaks map order through a non-associative float reduction.
+func badFloatSum(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum // want `map-ordered value \(accumulated at .*\) returned without a sort barrier`
+}
+
+// badPropagated taints a second slice via assignment before the sink.
+func badPropagated(m map[int]string) {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	view := keys[1:]
+	emit(view) // want `map-ordered value \(accumulated at .*\) reaches emit without a sort barrier`
+}
+
+// badSend leaks map order over a channel.
+func badSend(m map[int]string, ch chan []int) {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	ch <- keys // want `map-ordered value \(accumulated at .*\) sent on a channel without a sort barrier`
+}
+
+// goodSorted imposes a canonical order before the sink: no report.
+func goodSorted(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// goodSortSlice clears taint via sort.Slice too.
+func goodSortSlice(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	emit(keys)
+	return keys
+}
+
+// goodSlotWrite fills slots keyed by the iteration variable: content does
+// not depend on iteration order.
+func goodSlotWrite(m map[int]int, out []int) {
+	for k, v := range m {
+		out[k] = v
+	}
+	emit(out)
+}
+
+// goodCount accumulates into an int: counts are order-insensitive.
+func goodCount(m map[int]string) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// goodLen consumes only len() of the accumulated slice.
+func goodLen(m map[int]string) int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return len(keys)
+}
+
+// goodRebind kills taint on whole-object reassignment.
+func goodRebind(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	keys = nil
+	return keys
+}

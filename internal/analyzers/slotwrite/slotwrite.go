@@ -1,0 +1,282 @@
+// Package slotwrite enforces the internal/par merge discipline that makes
+// parallel construction bit-identical to serial: a task function passed to
+// (*par.Pool).ForEach or Fork may write only into pre-sized disjoint slots
+// owned by its task index. Everything else a task writes is shared state
+// whose final value depends on worker scheduling — a data race at worst
+// and a determinism leak at best, and the class of bug -race and the
+// differential tests only catch probabilistically.
+//
+// Rules, applied to every function literal passed to ForEach/Fork (built
+// on the ssaflow free-variable layer):
+//
+//   - A write whose target is declared inside the literal is always fine
+//     (per-task locals).
+//   - A write to a captured map (m[k] = v, delete(m, k)) is flagged:
+//     concurrent map writes fault, and even an index-keyed map write makes
+//     the map's internal state scheduling-dependent.
+//   - An assignment to a bare captured variable (x = ..., x += ..., x++)
+//     is flagged for ForEach tasks: every task races on the same cell. In
+//     a Fork call each captured variable may be written by at most one of
+//     the sibling literals (the "one result cell per branch" idiom);
+//     variables written by two or more siblings are flagged.
+//   - append to a captured slice (x = append(x, ...) or a bare
+//     append(x, ...)) is flagged: append reads and writes shared length.
+//   - An element or field write into captured storage (s[e] = v,
+//     s[e].f = v) is allowed only when the index expression mentions the
+//     task index parameter or a literal-local variable derived from it;
+//     s[0] = v and s[captured] = v are flagged — the slots are not
+//     provably disjoint across tasks.
+//
+// Method calls on captured values (metrics, collectors) are not analyzed:
+// goroutine safety of callees is their own contract. The pass is a static
+// complement to the runtime determinism gate (make determinism), which
+// shuffles task submission order and compares encodings byte for byte.
+package slotwrite
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"pathsep/internal/analyzers/ssaflow"
+)
+
+// Analyzer is the slotwrite pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "slotwrite",
+	Doc:      "par.ForEach/Fork tasks may write only to task-index-disjoint slots; flag shared appends, map writes and captured-variable mutation",
+	Requires: []*analysis.Analyzer{ssaflow.Analyzer},
+	Run:      run,
+}
+
+// isParPool reports whether t is (a pointer to) par.Pool, accepting the
+// bare "par" path the analyzertest harness loads its stand-in under.
+func isParPool(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Pool" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "pathsep/internal/par" || path == "par"
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// The pool's home package is sanctioned: its own tests verify inline
+	// execution order on nil/serial pools through deliberately shared
+	// state (the same carve-out seededrand gives par.SplitRand).
+	if home := pass.Pkg.Path(); home == "pathsep/internal/par" || home == "par" {
+		return nil, nil
+	}
+	res := pass.ResultOf[ssaflow.Analyzer].(*ssaflow.Result)
+	info := pass.TypesInfo
+	seen := map[*ast.CallExpr]bool{}
+	for _, fn := range res.Funcs {
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || seen[call] {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			mfn, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			sig, ok := mfn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil || !isParPool(sig.Recv().Type()) {
+				return true
+			}
+			seen[call] = true
+			switch mfn.Name() {
+			case "ForEach":
+				if len(call.Args) == 2 {
+					if lit, ok := ast.Unparen(call.Args[1]).(*ast.FuncLit); ok {
+						checkTask(pass, lit, indexParam(info, lit), nil)
+					}
+				}
+			case "Fork":
+				checkFork(pass, info, call)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// indexParam returns the object of a ForEach task's index parameter, or
+// nil when it is blank.
+func indexParam(info *types.Info, lit *ast.FuncLit) types.Object {
+	params := lit.Type.Params
+	if params == nil || len(params.List) == 0 || len(params.List[0].Names) == 0 {
+		return nil
+	}
+	return info.ObjectOf(params.List[0].Names[0])
+}
+
+// checkFork checks each literal argument of a Fork call individually
+// (with no index parameter) and then cross-checks: a captured variable
+// assigned in two or more sibling literals is a shared result cell.
+func checkFork(pass *analysis.Pass, info *types.Info, call *ast.CallExpr) {
+	writtenBy := map[types.Object][]*ast.FuncLit{}
+	firstWrite := map[types.Object]token.Pos{}
+	for _, arg := range call.Args {
+		lit, ok := ast.Unparen(arg).(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		wrote := checkTask(pass, lit, nil, func(obj types.Object, pos token.Pos) {
+			if _, ok := firstWrite[obj]; !ok {
+				firstWrite[obj] = pos
+			}
+		})
+		for obj := range wrote {
+			writtenBy[obj] = append(writtenBy[obj], lit)
+		}
+	}
+	for obj, lits := range writtenBy {
+		if len(lits) > 1 {
+			pass.Reportf(firstWrite[obj], "captured variable %s is written by %d sibling Fork tasks; give each branch its own result cell", obj.Name(), len(lits))
+		}
+	}
+}
+
+// checkTask walks one task literal. idx is the task-index parameter for
+// ForEach tasks (nil for Fork). When forkWrite is non-nil, bare
+// captured-variable assignments are not flagged directly but reported to
+// the caller for the cross-literal exclusivity check; the returned set
+// lists the captured variables the literal assigned.
+func checkTask(pass *analysis.Pass, lit *ast.FuncLit, idx types.Object, forkWrite func(types.Object, token.Pos)) map[types.Object]bool {
+	info := pass.TypesInfo
+	wrote := map[types.Object]bool{}
+	reported := map[token.Pos]bool{}
+
+	// localIndexed reports whether some index expression inside lv
+	// mentions the task index parameter or any variable declared inside
+	// the literal — the "slot owned by this task" shape.
+	localIndexed := func(lv ast.Expr) bool {
+		ok := false
+		ast.Inspect(lv, func(n ast.Node) bool {
+			ie, isIdx := n.(*ast.IndexExpr)
+			if !isIdx || ok {
+				return !ok
+			}
+			ok = ssaflow.Mentions(info, ie.Index, func(o types.Object) bool {
+				return o == idx || ssaflow.DeclaredWithin(o, lit)
+			})
+			return !ok
+		})
+		return ok
+	}
+
+	// mapWrite reports whether lv writes an element of a map.
+	mapWrite := func(lv ast.Expr) bool {
+		ie, ok := ast.Unparen(lv).(*ast.IndexExpr)
+		if !ok {
+			return false
+		}
+		t := info.TypeOf(ie.X)
+		if t == nil {
+			return false
+		}
+		_, isMap := t.Underlying().(*types.Map)
+		return isMap
+	}
+
+	checkWrite := func(lv ast.Expr, pos token.Pos) {
+		obj := ssaflow.BaseObject(info, lv)
+		if obj == nil || obj.Name() == "_" || ssaflow.DeclaredWithin(obj, lit) {
+			return
+		}
+		switch {
+		case mapWrite(lv):
+			pass.Reportf(pos, "write to captured map %s inside a par task; merge into per-task slots instead", obj.Name())
+		case isBareIdent(lv):
+			if forkWrite != nil {
+				wrote[obj] = true
+				forkWrite(obj, pos)
+				return
+			}
+			pass.Reportf(pos, "assignment to captured variable %s inside a par task; write to a pre-sized slot indexed by the task index", obj.Name())
+		case !localIndexed(lv):
+			pass.Reportf(pos, "write to captured %s is not indexed by the task index; slots must be disjoint per task", obj.Name())
+		}
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lv := range n.Lhs {
+				// x = append(x, ...) on a captured slice reads shared
+				// length: report as an append, once.
+				if i < len(n.Rhs) || len(n.Rhs) == 1 {
+					rhs := n.Rhs[min(i, len(n.Rhs)-1)]
+					if capturedAppend(info, lit, rhs) && !reported[n.Pos()] {
+						obj := ssaflow.BaseObject(info, lv)
+						if obj != nil && !ssaflow.DeclaredWithin(obj, lit) {
+							reported[n.Pos()] = true
+							pass.Reportf(n.Pos(), "append to captured slice %s inside a par task; tasks must fill pre-sized disjoint slots", obj.Name())
+							continue
+						}
+					}
+				}
+				checkWrite(lv, n.Pos())
+			}
+		case *ast.IncDecStmt:
+			checkWrite(n.X, n.Pos())
+		case *ast.CallExpr:
+			// delete(m, k) on a captured map; bare append(x, ...) whose
+			// result is discarded still reads shared state.
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					switch id.Name {
+					case "delete":
+						if len(n.Args) == 2 {
+							if obj := ssaflow.BaseObject(info, n.Args[0]); obj != nil && !ssaflow.DeclaredWithin(obj, lit) {
+								pass.Reportf(n.Pos(), "delete from captured map %s inside a par task", obj.Name())
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return wrote
+}
+
+func isBareIdent(e ast.Expr) bool {
+	_, ok := ast.Unparen(e).(*ast.Ident)
+	return ok
+}
+
+// capturedAppend reports whether e is append(x, ...) with x captured
+// (not literal-local) and not a task-indexed slot expression.
+func capturedAppend(info *types.Info, lit *ast.FuncLit, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	if _, isIdent := ast.Unparen(call.Args[0]).(*ast.Ident); !isIdent {
+		return false // append into an indexed slot (res[i] = append(res[i], ...)) is the slot's own growth
+	}
+	obj := ssaflow.BaseObject(info, call.Args[0])
+	return obj != nil && !ssaflow.DeclaredWithin(obj, lit)
+}

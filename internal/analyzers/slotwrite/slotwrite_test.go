@@ -1,0 +1,12 @@
+package slotwrite_test
+
+import (
+	"testing"
+
+	"pathsep/internal/analyzers/analyzertest"
+	"pathsep/internal/analyzers/slotwrite"
+)
+
+func TestSlotWrite(t *testing.T) {
+	analyzertest.Run(t, "testdata", slotwrite.Analyzer, "a")
+}

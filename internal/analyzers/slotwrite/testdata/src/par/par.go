@@ -1,0 +1,19 @@
+// Package par stands in for pathsep/internal/par: the bounded worker pool
+// whose ForEach/Fork tasks must observe slot-write discipline.
+package par
+
+type Pool struct{ workers int }
+
+func New(workers int) *Pool { return &Pool{workers} }
+
+func (p *Pool) ForEach(n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+func (p *Pool) Fork(fns ...func()) {
+	for _, fn := range fns {
+		fn()
+	}
+}

@@ -12,8 +12,8 @@ import (
 // TestAll checks the suite is stable: non-empty, unique names, docs set.
 func TestAll(t *testing.T) {
 	all := analyzers.All()
-	if len(all) < 5 {
-		t.Fatalf("All() returned %d analyzers, want at least 5", len(all))
+	if len(all) < 9 {
+		t.Fatalf("All() returned %d analyzers, want at least 9", len(all))
 	}
 	seen := map[string]bool{}
 	for _, a := range all {

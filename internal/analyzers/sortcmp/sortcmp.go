@@ -1,0 +1,192 @@
+// Package sortcmp checks the less-functions handed to sort.Slice and
+// friends — the comparators that define every canonical order the encoder
+// and the flat serving form depend on.
+//
+// Two classes of bug are flagged:
+//
+//   - Non-strict comparisons: a less-function using <= or >= across its
+//     two index parameters is not a strict weak ordering. sort.Slice is
+//     not stable, so "less or equal" lets equal elements land in
+//     scheduling- or input-order-dependent positions, and sort.SliceStable
+//     silently loses its stability guarantee. The canonical key order
+//     (keyLess) must be strict.
+//
+//   - Raw float comparisons: distances in this codebase are floats whose
+//     low bits differ across algebraically equal computations, so a less
+//     function comparing floats with < directly can order two
+//     SameDist-equal keys differently from build to build. Float key
+//     material must be compared through internal/core's floatcmp helpers
+//     (SameDist, ApproxDistEq, IsZeroDist, WithinFactor) so ties are
+//     broken on exact discrete fields instead. A less-function that
+//     mentions one of the helpers anywhere is trusted — the usual shape
+//     guards the float compare behind a SameDist tie-break.
+//
+// Checked call sites: sort.Slice, sort.SliceStable, slices.SortFunc,
+// slices.SortStableFunc with an inline function literal comparator.
+package sortcmp
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"pathsep/internal/analyzers/ssaflow"
+)
+
+// Analyzer is the sortcmp pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "sortcmp",
+	Doc:      "sort.Slice less-functions must be strict weak orderings and compare floats via core/floatcmp helpers",
+	Requires: []*analysis.Analyzer{ssaflow.Analyzer},
+	Run:      run,
+}
+
+// comparatorArg returns the index of the comparator argument for the
+// supported sort entry points, or -1.
+func comparatorArg(fn *types.Func) int {
+	if fn == nil || fn.Pkg() == nil {
+		return -1
+	}
+	switch fn.Pkg().Path() {
+	case "sort":
+		switch fn.Name() {
+		case "Slice", "SliceStable":
+			return 1
+		}
+	case "slices":
+		switch fn.Name() {
+		case "SortFunc", "SortStableFunc":
+			return 1
+		}
+	}
+	return -1
+}
+
+// floatcmpHelpers are the sanctioned comparison helpers from
+// internal/core (re-exported on the pathsep facade, and provided by the
+// "core" stand-in package in analyzer testdata).
+var floatcmpHelpers = map[string]bool{
+	"SameDist":     true,
+	"ApproxDistEq": true,
+	"IsZeroDist":   true,
+	"WithinFactor": true,
+}
+
+func isFloatcmpHome(path string) bool {
+	switch path {
+	case "pathsep/internal/core", "pathsep", "core":
+		return true
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	res := pass.ResultOf[ssaflow.Analyzer].(*ssaflow.Result)
+	info := pass.TypesInfo
+	for _, fn := range res.Funcs {
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			idx := comparatorArg(ssaflow.CalleeFunc(info, call))
+			if idx < 0 || idx >= len(call.Args) {
+				return true
+			}
+			if lit, ok := ast.Unparen(call.Args[idx]).(*ast.FuncLit); ok {
+				checkLess(pass, lit)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// params returns the comparator's two parameter objects (index params for
+// sort.Slice, element params for slices.SortFunc), or nil.
+func params(info *types.Info, lit *ast.FuncLit) (a, b types.Object) {
+	var objs []types.Object
+	if lit.Type.Params == nil {
+		return nil, nil
+	}
+	for _, f := range lit.Type.Params.List {
+		for _, name := range f.Names {
+			objs = append(objs, info.ObjectOf(name))
+		}
+	}
+	if len(objs) != 2 {
+		return nil, nil
+	}
+	return objs[0], objs[1]
+}
+
+func checkLess(pass *analysis.Pass, lit *ast.FuncLit) {
+	info := pass.TypesInfo
+	pa, pb := params(info, lit)
+
+	// A less-function that consults a floatcmp helper anywhere is doing
+	// the guarded-compare idiom; trust it for the float rule.
+	usesHelper := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := ssaflow.CalleeFunc(info, call)
+		if callee != nil && callee.Pkg() != nil &&
+			isFloatcmpHome(callee.Pkg().Path()) && floatcmpHelpers[callee.Name()] {
+			usesHelper = true
+			return false
+		}
+		return true
+	})
+
+	mentionsParam := func(e ast.Expr, p types.Object) bool {
+		if p == nil {
+			return false
+		}
+		return ssaflow.Mentions(info, e, func(o types.Object) bool { return o == p })
+	}
+	// spansParams reports whether the comparison actually compares the two
+	// elements being ordered: one operand derives from one parameter, the
+	// other from the other.
+	spansParams := func(be *ast.BinaryExpr) bool {
+		if pa == nil || pb == nil {
+			return false
+		}
+		return (mentionsParam(be.X, pa) && mentionsParam(be.Y, pb)) ||
+			(mentionsParam(be.X, pb) && mentionsParam(be.Y, pa))
+	}
+	isFloat := func(e ast.Expr) bool {
+		t := info.TypeOf(e)
+		if t == nil {
+			return false
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsFloat != 0
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op.String() {
+		case "<", ">", "<=", ">=":
+		default:
+			return true
+		}
+		if !spansParams(be) {
+			return true
+		}
+		if be.Op.String() == "<=" || be.Op.String() == ">=" {
+			pass.Reportf(be.OpPos, "less-function uses %s: not a strict weak ordering; equal elements get nondeterministic positions", be.Op)
+			return true
+		}
+		if (isFloat(be.X) || isFloat(be.Y)) && !usesHelper {
+			pass.Reportf(be.OpPos, "less-function compares floats with %s directly; guard with a core floatcmp helper (SameDist) and break ties on discrete fields", be.Op)
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package sortcmp_test
+
+import (
+	"testing"
+
+	"pathsep/internal/analyzers/analyzertest"
+	"pathsep/internal/analyzers/sortcmp"
+)
+
+func TestSortCmp(t *testing.T) {
+	analyzertest.Run(t, "testdata", sortcmp.Analyzer, "a")
+}

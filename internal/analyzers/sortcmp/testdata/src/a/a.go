@@ -1,0 +1,63 @@
+// Package a exercises the sortcmp analyzer: less-functions must be strict
+// weak orderings and compare floats through the core helpers.
+package a
+
+import (
+	"sort"
+
+	"core"
+)
+
+type entry struct {
+	dist float64
+	id   int
+}
+
+// badFloatLess compares float distances raw: SameDist-equal keys order
+// nondeterministically.
+func badFloatLess(xs []entry) {
+	sort.Slice(xs, func(i, j int) bool {
+		return xs[i].dist < xs[j].dist // want `less-function compares floats with < directly`
+	})
+}
+
+// badNonStrict is not a strict weak ordering.
+func badNonStrict(xs []int) {
+	sort.Slice(xs, func(i, j int) bool {
+		return xs[i] <= xs[j] // want `less-function uses <=: not a strict weak ordering`
+	})
+}
+
+// badNonStrictStable loses SliceStable's stability guarantee too.
+func badNonStrictStable(xs []int) {
+	sort.SliceStable(xs, func(i, j int) bool {
+		return xs[j] >= xs[i] // want `less-function uses >=: not a strict weak ordering`
+	})
+}
+
+// goodGuarded is the sanctioned idiom: float compare guarded by SameDist
+// with a discrete tie-break.
+func goodGuarded(xs []entry) {
+	sort.Slice(xs, func(i, j int) bool {
+		if !core.SameDist(xs[i].dist, xs[j].dist) {
+			return xs[i].dist < xs[j].dist
+		}
+		return xs[i].id < xs[j].id
+	})
+}
+
+// goodInts orders discrete keys strictly: nothing to flag.
+func goodInts(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// goodUnrelatedLeq compares a parameter against a bound, not the two
+// elements against each other: <= is fine there.
+func goodUnrelatedLeq(xs []int, cut int) {
+	sort.Slice(xs, func(i, j int) bool {
+		if xs[i] <= cut {
+			return true
+		}
+		return xs[i] < xs[j]
+	})
+}

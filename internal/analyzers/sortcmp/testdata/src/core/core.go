@@ -1,0 +1,9 @@
+// Package core stands in for pathsep/internal/core's floatcmp helpers —
+// the sanctioned way to compare float distances in a less-function.
+package core
+
+func SameDist(a, b float64) bool     { return a == b }
+func ApproxDistEq(a, b float64) bool { return a == b }
+func IsZeroDist(d float64) bool      { return d == 0 }
+
+func WithinFactor(a, b, f float64) bool { return a <= b*f }

@@ -21,6 +21,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"pathsep/internal/embed"
 	"pathsep/internal/graph"
@@ -165,6 +166,7 @@ func Certify(g *graph.Graph, sep *Separator) error {
 	for v := range removed {
 		all = append(all, v)
 	}
+	sort.Ints(all)
 	comps := graph.ComponentsAfterRemoval(g, all)
 	if len(comps) > 0 && len(comps[0]) > n/2 {
 		return fmt.Errorf("core: component of size %d > n/2 = %d remains", len(comps[0]), n/2)

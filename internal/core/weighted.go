@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"pathsep/internal/graph"
 	"pathsep/internal/shortest"
@@ -339,6 +340,7 @@ func CertifyWeighted(g *graph.Graph, weights []float64, sep *Separator) error {
 	for v := range removed {
 		all = append(all, v)
 	}
+	sort.Ints(all)
 	total := totalWeightAll(n, weights)
 	if got := maxComponentWeight(g, weights, all); got > total/2 {
 		return fmt.Errorf("core: component weight %.6g > half of %.6g", got, total)

@@ -183,6 +183,31 @@ func TestFlatTreeMatchesPointer(t *testing.T) {
 	}
 }
 
+// TestFlatTreeQueryBounds is the bounds-hardening parity regression: the
+// frozen tree labeling must reject out-of-range vertex ids exactly the
+// way Oracle.Query and TreeLabeling.Query do — +Inf, never a panic —
+// including extreme ids whose offsets would wrap.
+func TestFlatTreeQueryBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	l, err := BuildTree(graph.RandomTree(25, graph.UniformWeights(1, 4), rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := l.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := f.N()
+	for _, pair := range [][2]int{
+		{-1, 0}, {0, -1}, {n, 0}, {0, n}, {n + 7, -3},
+		{math.MinInt, 0}, {0, math.MaxInt}, {math.MaxInt, math.MinInt},
+	} {
+		if d := f.Query(pair[0], pair[1]); !math.IsInf(d, 1) {
+			t.Fatalf("FlatTree.Query(%d,%d) = %v, want +Inf", pair[0], pair[1], d)
+		}
+	}
+}
+
 // TestFlatTreeFreezeRejectsMisorder pins the merge-join invariant: Freeze
 // must refuse labels whose entries are not in increasing centroid order.
 func TestFlatTreeFreezeRejectsMisorder(t *testing.T) {

@@ -302,23 +302,31 @@ func (f *Flat) QueryBatchWorkers(pairs []Pair, out []float64, workers int) []flo
 		return out
 	}
 	start := time.Now()
-	pool := par.New(workers, nil)
-	chunks := pool.Workers() * batchChunksPerWorker
-	if chunks > len(pairs) {
-		chunks = len(pairs)
-	}
-	size := (len(pairs) + chunks - 1) / chunks
-	pool.ForEach(chunks, func(c int) {
-		lo := c * size
-		hi := lo + size
-		if hi > len(pairs) {
-			hi = len(pairs)
-		}
-		for i := lo; i < hi; i++ {
+	if workers == 1 {
+		// Serial fast path: no pool, no closure — keeps the reused-buffer
+		// contract at a true zero allocations per batch.
+		for i := range pairs {
 			out[i] = f.answer(int(pairs[i].U), int(pairs[i].V))
 		}
-	})
-	pool.Finish()
+	} else {
+		pool := par.New(workers, nil)
+		chunks := pool.Workers() * batchChunksPerWorker
+		if chunks > len(pairs) {
+			chunks = len(pairs)
+		}
+		size := (len(pairs) + chunks - 1) / chunks
+		pool.ForEach(chunks, func(c int) {
+			lo := c * size
+			hi := lo + size
+			if hi > len(pairs) {
+				hi = len(pairs)
+			}
+			for i := lo; i < hi; i++ {
+				out[i] = f.answer(int(pairs[i].U), int(pairs[i].V))
+			}
+		})
+		pool.Finish()
+	}
 	if f.batchQPS != nil {
 		if ns := time.Since(start).Nanoseconds(); ns > 0 {
 			f.batchQPS.Set(int64(float64(len(pairs)) * 1e9 / float64(ns)))

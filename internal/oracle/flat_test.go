@@ -3,6 +3,7 @@ package oracle
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"pathsep/internal/core"
@@ -124,6 +125,75 @@ func TestQueryBatchRecordsQPS(t *testing.T) {
 	fl.QueryBatch(pairs, nil)
 	if reg.Gauge("oracle.batch_qps").Value() <= 0 {
 		t.Fatal("oracle.batch_qps not recorded")
+	}
+}
+
+// TestQueryBatchEdgeCases pins the batch surface against per-pair
+// Flat.Query on the degenerate shapes: empty batch, single pair,
+// duplicate pairs, self pairs, and out-of-range IDs — for every pool
+// width.
+func TestQueryBatchEdgeCases(t *testing.T) {
+	_, o := buildSeeded(t, 3, 40, CoverPortal)
+	fl, err := o.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int32(fl.N())
+	batches := map[string][]Pair{
+		"empty":     {},
+		"single":    {{U: 1, V: 7}},
+		"self":      {{U: 5, V: 5}, {U: 0, V: 0}},
+		"duplicate": {{U: 2, V: 9}, {U: 2, V: 9}, {U: 9, V: 2}, {U: 2, V: 9}},
+		"bounds":    {{U: -1, V: 3}, {U: 3, V: -1}, {U: n, V: 0}, {U: 0, V: n + 7}},
+		"mixed":     {{U: 4, V: 4}, {U: -1, V: 2}, {U: 1, V: 8}, {U: 1, V: 8}, {U: 0, V: n - 1}},
+	}
+	names := make([]string, 0, len(batches))
+	for name := range batches {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pairs := batches[name]
+		for _, workers := range []int{1, 2, 0} {
+			got := fl.QueryBatchWorkers(pairs, nil, workers)
+			if len(got) != len(pairs) {
+				t.Fatalf("%s workers=%d: len = %d, want %d", name, workers, len(got), len(pairs))
+			}
+			for i, p := range pairs {
+				want := fl.Query(int(p.U), int(p.V))
+				if math.Float64bits(got[i]) != math.Float64bits(want) {
+					t.Fatalf("%s workers=%d: out[%d] = %v, Query(%d,%d) = %v",
+						name, workers, i, got[i], p.U, p.V, want)
+				}
+			}
+		}
+	}
+	// Empty batch with a nil buffer returns an empty, usable slice.
+	if out := fl.QueryBatch(nil, nil); len(out) != 0 {
+		t.Fatalf("QueryBatch(nil, nil) returned %d results", len(out))
+	}
+}
+
+// TestQueryBatchReusedBufferAllocs pins the amortized-zero-allocation
+// contract: once the output buffer has capacity, serial batches must not
+// allocate at all.
+func TestQueryBatchReusedBufferAllocs(t *testing.T) {
+	_, o := buildSeeded(t, 2, 40, CoverExact)
+	fl, err := o.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := make([]Pair, 64)
+	rng := rand.New(rand.NewSource(5))
+	for i := range pairs {
+		pairs[i] = Pair{U: int32(rng.Intn(40)), V: int32(rng.Intn(40))}
+	}
+	out := fl.QueryBatchWorkers(pairs, nil, 1)
+	allocs := testing.AllocsPerRun(20, func() {
+		out = fl.QueryBatchWorkers(pairs, out, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("reused-buffer serial batch allocates %.1f allocs/op, want 0", allocs)
 	}
 }
 

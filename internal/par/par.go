@@ -62,6 +62,31 @@ func New(workers int, reg *obs.Registry) *Pool {
 	}
 }
 
+// shuffleSeed, when non-zero, permutes the order in which ForEach hands
+// tasks to workers. Tasks keep their own indices — fn still receives
+// 0..n-1 exactly once and slot writes land where they always do — only
+// the submission schedule changes. This is a test hook for the
+// determinism gate (make determinism): if any call site leaks scheduling
+// order into its results, shuffling makes the leak a guaranteed byte
+// diff instead of a probabilistic one.
+var shuffleSeed atomic.Int64
+
+// SetShuffleSeed enables (non-zero) or disables (zero) shuffled task
+// submission for all pools in the process. Test use only; not part of
+// the build pipeline's API surface.
+func SetShuffleSeed(seed int64) { shuffleSeed.Store(seed) }
+
+// taskOrder returns the submission permutation for n tasks, or nil for
+// the identity order. The permutation is a pure function of the seed and
+// n, so a shuffled run is itself reproducible.
+func taskOrder(n int) []int {
+	seed := shuffleSeed.Load()
+	if seed == 0 || n < 2 {
+		return nil
+	}
+	return rand.New(rand.NewSource(seed ^ int64(n)<<32)).Perm(n)
+}
+
 // Workers returns the pool width; 1 for the nil pool.
 func (p *Pool) Workers() int {
 	if p == nil {
@@ -97,9 +122,16 @@ func (p *Pool) ForEach(n int, fn func(int)) {
 	if n <= 0 {
 		return
 	}
+	perm := taskOrder(n)
+	task := func(i int) int {
+		if perm != nil {
+			return perm[i]
+		}
+		return i
+	}
 	if p == nil || p.workers <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
-			p.run(i, 0, fn)
+			p.run(task(i), 0, fn)
 		}
 		return
 	}
@@ -110,7 +142,7 @@ func (p *Pool) ForEach(n int, fn func(int)) {
 			if i >= n {
 				return
 			}
-			p.run(i, wid, fn)
+			p.run(task(i), wid, fn)
 		}
 	}
 	helpers := min(p.workers, n) - 1
