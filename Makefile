@@ -1,6 +1,6 @@
 # Tier-1+ verification for the pathsep repo.
 #
-#   make check      vet + lint + build + race tests + determinism + fuzz smoke + obs-overhead + parallel-speedup + query-serving gates
+#   make check      vet + lint + build + race tests + determinism + fuzz smoke + obs-overhead + parallel-speedup + query-serving + serve-bench gates
 #   make test       plain test run (the tier-1 gate)
 #   make lint       run the repo-specific analyzers (cmd/pathsep-lint) over ./...
 #   make determinism  full schedule-matrix byte-identity gate (GOMAXPROCS x workers x shuffled submission)
@@ -8,6 +8,7 @@
 #   make bench-obs  regenerate BENCH_obs.json (metrics on vs. off numbers)
 #   make bench-parallel  parallel-build speedup gate (BENCH_parallel.json)
 #   make bench-query     flat-vs-pointer query speedup gate (BENCH_query.json)
+#   make bench-serve     in-process daemon self-load gate (BENCH_serve.json)
 
 GO ?= go
 FUZZTIME ?= 5s
@@ -18,9 +19,9 @@ FUZZMINTIME ?= 50x
 LINT_BIN := bin/pathsep-lint
 LINT_SRC := $(wildcard cmd/pathsep-lint/*.go internal/analyzers/*.go internal/analyzers/*/*.go)
 
-.PHONY: check test vet lint lint-json determinism fuzz-short build race bench-overhead bench-obs bench-parallel bench-query
+.PHONY: check test vet lint lint-json determinism fuzz-short build race bench-overhead bench-obs bench-parallel bench-query bench-serve
 
-check: vet lint build race determinism fuzz-short bench-overhead bench-parallel bench-query
+check: vet lint build race determinism fuzz-short bench-overhead bench-parallel bench-query bench-serve
 
 test:
 	$(GO) build ./...
@@ -80,8 +81,8 @@ bench-obs:
 	EMIT_BENCH_OBS=1 $(GO) test -run TestEmitBenchObs -v .
 
 # The parallel-build gate: workers=N must beat workers=1 by >= 1.5x on the
-# 4k-vertex grid (ratio enforced only when GOMAXPROCS >= 2; the JSON
-# records gomaxprocs either way).
+# 4k-vertex grid (ratio enforced only when GOMAXPROCS >= 4; narrower
+# machines record the measurement with a "skipped": "single-core" marker).
 bench-parallel:
 	BENCH_PARALLEL_GATE=1 $(GO) test -run TestParallelBuildSpeedupGate -v .
 
@@ -90,3 +91,9 @@ bench-parallel:
 # land in BENCH_query.json.
 bench-query:
 	BENCH_QUERY_GATE=1 $(GO) test -run TestQueryServingGate -v .
+
+# The serving gate: stand up the pathsepd engine in-process, self-load it
+# (concurrent GET /query then binary batches), and record QPS + latency
+# percentiles in BENCH_serve.json; zero errors and a sane p99 required.
+bench-serve:
+	BENCH_SERVE_GATE=1 $(GO) test -run TestServeBenchGate -v .

@@ -1,7 +1,10 @@
 // Observability-overhead benchmarks: the instrumentation threaded
 // through the hot paths must be free when no registry is attached.
 // BenchmarkObsOverhead/QueryDisabled is the acceptance gate: 0 allocs/op
-// and within noise of the pre-instrumentation Oracle.Query.
+// and within noise of the pre-instrumentation Oracle.Query. The Flat
+// serving form carries the same contract, extended to the slow-query
+// sampler hook: FlatQueryDisabled (no registry, no sampler) and
+// FlatQuerySampled (registry + sampler attached) are both 0 allocs/op.
 //
 // TestEmitBenchObs (run with EMIT_BENCH_OBS=1) regenerates BENCH_obs.json,
 // the committed metrics-on vs. metrics-off numbers for oracle build+query.
@@ -53,6 +56,38 @@ func BenchmarkObsOverhead(b *testing.B) {
 			o.Query(i%n, (i*31)%n)
 		}
 	})
+	b.Run("FlatQueryDisabled", func(b *testing.B) {
+		fl, n := buildObsFlat(b, nil, nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fl.Query(i%n, (i*31)%n)
+		}
+	})
+	b.Run("FlatQuerySampled", func(b *testing.B) {
+		fl, n := buildObsFlat(b, obs.New(), obs.NewSlowQuerySampler(16))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fl.Query(i%n, (i*31)%n)
+		}
+	})
+}
+
+// buildObsFlat freezes the benchmark oracle into its flat serving form
+// with the given observability hooks attached (either may be nil).
+func buildObsFlat(tb testing.TB, reg *obs.Registry, slow *obs.SlowQuerySampler) (*oracle.Flat, int) {
+	tb.Helper()
+	o, n := buildObsOracle(tb, nil)
+	fl, err := o.Freeze()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if reg != nil {
+		fl.SetMetrics(reg)
+	}
+	fl.SetSlowSampler(slow)
+	return fl, n
 }
 
 // TestQueryDisabledZeroAllocs enforces the acceptance criterion directly:
@@ -66,6 +101,34 @@ func TestQueryDisabledZeroAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("Oracle.Query with metrics disabled: %v allocs/run, want 0", allocs)
+	}
+}
+
+// TestFlatQueryZeroAllocs extends the acceptance criterion to the flat
+// serving form and the slow-query sampler hook: Flat.Query must not
+// allocate with observability fully disabled, and attaching a registry
+// plus a sampler must not introduce allocations either.
+func TestFlatQueryZeroAllocs(t *testing.T) {
+	cases := []struct {
+		name string
+		reg  *obs.Registry
+		slow *obs.SlowQuerySampler
+	}{
+		{"Disabled", nil, nil},
+		{"Sampled", obs.New(), obs.NewSlowQuerySampler(16)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fl, n := buildObsFlat(t, tc.reg, tc.slow)
+			i := 0
+			allocs := testing.AllocsPerRun(200, func() {
+				fl.Query(i%n, (i*31)%n)
+				i++
+			})
+			if allocs != 0 {
+				t.Fatalf("Flat.Query (%s): %v allocs/run, want 0", tc.name, allocs)
+			}
+		})
 	}
 }
 

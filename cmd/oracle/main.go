@@ -71,11 +71,12 @@ func main() {
 		reg = obs.New()
 	}
 	if *pprofAddr != "" {
-		go func() {
-			if err := obs.Serve(*pprofAddr, reg); err != nil {
-				fmt.Fprintf(os.Stderr, "oracle: pprof server: %v\n", err)
-			}
-		}()
+		srv, err := obs.Serve(*pprofAddr, reg)
+		if err != nil {
+			fail(err)
+		}
+		defer srv.Close()
+		fmt.Printf("debug: serving /metrics, /debug/vars and /debug/pprof on %s\n", srv.Addr)
 	}
 
 	var r io.Reader = os.Stdin

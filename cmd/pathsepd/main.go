@@ -1,0 +1,217 @@
+// Command pathsepd serves a frozen flat distance oracle over HTTP: the
+// oracle-as-a-service daemon of the pathsep library.
+//
+// Load a pre-built flat image, or build one from a graph edge list:
+//
+//	pathsepd -image oracle.flat -listen :9120
+//	gengraph -family grid -n 4096 | pathsepd -graph - -eps 0.25 -mode portal
+//
+// Endpoints (see internal/serve):
+//
+//	GET  /query?u=&v=      one distance, JSON
+//	POST /query/batch      JSON batch
+//	POST /query/batchbin   binary batch (LE uint32 pairs -> LE float64)
+//	GET  /admin/status     image metadata, serving stats, slow queries
+//	GET  /healthz          liveness
+//	GET  /metrics          Prometheus text format
+//	     /debug/vars, /debug/pprof/*
+//
+// The daemon drains gracefully on SIGINT/SIGTERM: the listener closes,
+// in-flight requests finish (bounded by -drain), then the process exits.
+//
+// With -serve-bench the daemon instead self-loads: it binds an ephemeral
+// port, fires the load generator at itself, writes QPS/p50/p99 to
+// -bench-out (BENCH_serve.json by default) and exits.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pathsep/internal/core"
+	"pathsep/internal/graph"
+	"pathsep/internal/obs"
+	"pathsep/internal/oracle"
+	"pathsep/internal/serve"
+)
+
+func main() {
+	listen := flag.String("listen", ":9120", "address to serve on")
+	image := flag.String("image", "", "flat oracle image to load (from FlatOracle.Encode / -save-image)")
+	graphIn := flag.String("graph", "", "build the oracle from this edge-list file instead (\"-\" = stdin)")
+	eps := flag.Float64("eps", 0.25, "epsilon of the (1+eps) approximation (with -graph)")
+	mode := flag.String("mode", "portal", "exact|portal (with -graph)")
+	workers := flag.Int("workers", 0, "worker pool width for build and batch queries (0 = GOMAXPROCS)")
+	saveImage := flag.String("save-image", "", "after building from -graph, also write the flat image here")
+	slowN := flag.Int("slow", 16, "slow-query exemplars to retain for /admin/status (0 disables)")
+	maxBatch := flag.Int("max-batch", serve.DefaultMaxBatch, "max pairs per batch request")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-drain budget on SIGTERM")
+	serveBench := flag.Duration("serve-bench", 0, "self-load for this long, write the results, and exit")
+	benchConc := flag.Int("bench-conc", 4, "concurrent single-query clients for -serve-bench")
+	benchBatch := flag.Int("bench-batch", 1024, "pairs per binary batch for -serve-bench")
+	benchOut := flag.String("bench-out", "BENCH_serve.json", "where -serve-bench writes its measurements")
+	seed := flag.Int64("seed", 1, "random seed for -serve-bench traffic")
+	flag.Parse()
+
+	if (*image == "") == (*graphIn == "") {
+		fmt.Fprintln(os.Stderr, "pathsepd: exactly one of -image or -graph is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if !(*eps > 0) || math.IsInf(*eps, 1) {
+		fmt.Fprintf(os.Stderr, "pathsepd: -eps must be a positive finite number, got %v\n", *eps)
+		os.Exit(2)
+	}
+
+	fl, source, err := loadFlat(*image, *graphIn, *eps, *mode, *workers, *saveImage)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("pathsepd: image %s: n=%d eps=%g mode=%s (%d keys, %d entries, %d portals, %d bytes)\n",
+		source, fl.N(), fl.Eps(), fl.Mode(), fl.NumKeys(), fl.NumEntries(), fl.NumPortals(), fl.EncodedSize())
+
+	var slow *obs.SlowQuerySampler
+	if *slowN > 0 {
+		slow = obs.NewSlowQuerySampler(*slowN)
+	}
+	srv, err := serve.New(serve.Config{
+		Flat:     fl,
+		Reg:      obs.New(),
+		Slow:     slow,
+		Workers:  *workers,
+		MaxBatch: *maxBatch,
+		Source:   source,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	if *serveBench > 0 {
+		runBench(srv, fl.N(), *serveBench, *benchConc, *benchBatch, *benchOut, *seed, *drain)
+		return
+	}
+
+	addr, err := srv.Start(*listen)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("pathsepd: serving on %s\n", addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+	fmt.Println("pathsepd: draining...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fail(fmt.Errorf("drain: %w", err))
+	}
+	fmt.Println("pathsepd: done")
+}
+
+// loadFlat produces the serving image: decoded from a file, or built from
+// an edge list and frozen.
+func loadFlat(image, graphIn string, eps float64, mode string, workers int, saveImage string) (*oracle.Flat, string, error) {
+	if image != "" {
+		buf, err := os.ReadFile(image)
+		if err != nil {
+			return nil, "", err
+		}
+		fl, err := oracle.DecodeFlat(buf)
+		if err != nil {
+			return nil, "", fmt.Errorf("decode %s: %w", image, err)
+		}
+		return fl, "file:" + image, nil
+	}
+
+	var m oracle.Mode
+	switch mode {
+	case "exact":
+		m = oracle.CoverExact
+	case "portal":
+		m = oracle.CoverPortal
+	default:
+		return nil, "", fmt.Errorf("unknown -mode %q (want exact|portal)", mode)
+	}
+	var r io.Reader = os.Stdin
+	source := "graph:stdin"
+	if graphIn != "-" {
+		f, err := os.Open(graphIn)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		r = f
+		source = "graph:" + graphIn
+	}
+	g, err := graph.Read(r)
+	if err != nil {
+		return nil, "", err
+	}
+	dec, err := core.Decompose(g, core.Options{Strategy: core.Auto{}, Workers: workers})
+	if err != nil {
+		return nil, "", err
+	}
+	o, err := oracle.Build(dec, oracle.Options{Epsilon: eps, Mode: m, Workers: workers})
+	if err != nil {
+		return nil, "", err
+	}
+	fl, err := o.Freeze()
+	if err != nil {
+		return nil, "", err
+	}
+	if saveImage != "" {
+		if err := os.WriteFile(saveImage, fl.Encode(), 0o644); err != nil {
+			return nil, "", fmt.Errorf("save image: %w", err)
+		}
+		fmt.Printf("pathsepd: wrote flat image to %s\n", saveImage)
+	}
+	return fl, source, nil
+}
+
+// runBench self-loads the server on an ephemeral port and writes the
+// measurements as JSON.
+func runBench(srv *serve.Server, n int, d time.Duration, conc, batch int, out string, seed int64, drain time.Duration) {
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		fail(err)
+	}
+	res, err := serve.LoadBench("http://"+addr.String(), n, d, conc, batch, seed)
+	if err != nil {
+		fail(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fail(err)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		fail(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		f.Close()
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("serve-bench: %d reqs %.0f qps p50=%dns p99=%dns; batch %.0f pairs/s (batch=%d) -> %s\n",
+		res.Requests, res.QPS, res.P50Ns, res.P99Ns, res.BatchQPS, batch, out)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "pathsepd: %v\n", err)
+	os.Exit(1)
+}

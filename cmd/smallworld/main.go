@@ -35,11 +35,13 @@ func main() {
 		reg = obs.New()
 	}
 	if *pprofAddr != "" {
-		go func() {
-			if err := obs.Serve(*pprofAddr, reg); err != nil {
-				fmt.Fprintf(os.Stderr, "smallworld: pprof server: %v\n", err)
-			}
-		}()
+		srv, err := obs.Serve(*pprofAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "smallworld: pprof server: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("debug: serving /metrics, /debug/vars and /debug/pprof on %s\n", srv.Addr)
 	}
 
 	rng := rand.New(rand.NewSource(*seed))

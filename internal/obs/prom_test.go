@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// promTestRegistry builds a registry with one instrument of every family
+// plus the awkward cases the exposition must handle: a name needing
+// sanitization (and HELP escaping), an empty histogram, and an
+// observation in the overflow bucket.
+func promTestRegistry() *Registry {
+	r := New()
+	r.Counter("oracle.queries").Add(42)
+	r.Counter(`weird.name"with\stuff`).Inc()
+	r.Gauge("build.workers_busy").Set(3)
+	h := r.Histogram("oracle.query_ns")
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(1000)
+	h.Observe(math.Inf(1)) // overflow bucket: must fold into +Inf
+	r.Histogram("oracle.empty_hist")
+	return r
+}
+
+// TestWritePrometheusGolden pins the exposition format byte for byte:
+// sorted output, # HELP/# TYPE lines, cumulative histogram buckets with
+// the mandatory +Inf bucket, name sanitization and HELP escaping.
+// Regenerate with PROM_GOLDEN_UPDATE=1 go test ./internal/obs -run Golden.
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := promTestRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics.golden")
+	if os.Getenv("PROM_GOLDEN_UPDATE") == "1" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, buf.Bytes(), want)
+	}
+}
+
+// TestWritePrometheusStable asserts two writes of an idle registry are
+// byte-identical (the sort is total, not map-order-dependent).
+func TestWritePrometheusStable(t *testing.T) {
+	r := promTestRegistry()
+	var a, b bytes.Buffer
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("consecutive writes differ:\n%s\n---\n%s", a.Bytes(), b.Bytes())
+	}
+}
+
+// TestWritePrometheusCumulative checks the bucket conversion directly:
+// per-bucket counts become running totals and the +Inf bucket equals
+// _count even when the overflow bucket is occupied.
+func TestWritePrometheusCumulative(t *testing.T) {
+	r := New()
+	h := r.Histogram("h")
+	h.Observe(1) // le=1
+	h.Observe(3) // le=4
+	h.Observe(3) // le=4
+	h.Observe(math.Inf(1))
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`pathsep_h_bucket{le="1"} 1`,
+		`pathsep_h_bucket{le="4"} 3`,
+		`pathsep_h_bucket{le="+Inf"} 4`,
+		`pathsep_h_count 4`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "5.6294995342131e") || strings.Contains(out, "e+14") {
+		t.Errorf("overflow bucket leaked a finite le into:\n%s", out)
+	}
+}
+
+func TestWritePrometheusNilRegistry(t *testing.T) {
+	var r *Registry
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("nil registry wrote %q", buf.String())
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"oracle.query_ns":       "pathsep_oracle_query_ns",
+		`weird.name"with\stuff`: "pathsep_weird_name_with_stuff",
+		"a-b/c d":               "pathsep_a_b_c_d",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestPrometheusHandler checks the scrape endpoint: content type, the
+// runtime gauges sampled at scrape time, and that the body parses as
+// exposition lines.
+func TestPrometheusHandler(t *testing.T) {
+	r := New()
+	r.Counter("oracle.queries").Add(7)
+	rec := httptest.NewRecorder()
+	PrometheusHandler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != promContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, promContentType)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"pathsep_oracle_queries 7\n",
+		"# TYPE pathsep_go_goroutines gauge\n",
+		"# TYPE pathsep_go_heap_alloc_bytes gauge\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape missing %q:\n%s", want, body)
+		}
+	}
+}

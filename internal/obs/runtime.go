@@ -1,0 +1,26 @@
+package obs
+
+import "runtime"
+
+// CollectRuntime samples the Go runtime into gauges on r, so a /metrics
+// scrape reports GC, heap and scheduler state next to the library's own
+// instruments ("go.goroutines", "go.heap_alloc_bytes", ...). It reads
+// runtime.MemStats, which briefly stops the world; call it at scrape
+// time, not on a hot path. No-op on a nil registry.
+func CollectRuntime(r *Registry) {
+	if r == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge("go.goroutines").Set(int64(runtime.NumGoroutine()))
+	r.Gauge("go.gomaxprocs").Set(int64(runtime.GOMAXPROCS(0)))
+	r.Gauge("go.heap_alloc_bytes").Set(int64(ms.HeapAlloc))
+	r.Gauge("go.heap_sys_bytes").Set(int64(ms.HeapSys))
+	r.Gauge("go.heap_objects").Set(int64(ms.HeapObjects))
+	r.Gauge("go.stack_sys_bytes").Set(int64(ms.StackSys))
+	r.Gauge("go.next_gc_bytes").Set(int64(ms.NextGC))
+	r.Gauge("go.gc_cycles").Set(int64(ms.NumGC))
+	r.Gauge("go.gc_pause_total_ns").Set(int64(ms.PauseTotalNs))
+	r.Gauge("go.total_alloc_bytes").Set(int64(ms.TotalAlloc))
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// QueryExemplar is one retained slow-query sample: the query endpoints,
+// the distance it answered and the observed latency in nanoseconds.
+type QueryExemplar struct {
+	U    int32   `json:"u"`
+	V    int32   `json:"v"`
+	Dist float64 `json:"dist"`
+	Ns   int64   `json:"ns"`
+}
+
+// SlowQuerySampler retains the N slowest query exemplars seen, so an
+// operator can ask a running oracle "which queries hurt" without tracing
+// every request. It is a bounded min-heap on latency behind a mutex, with
+// an atomic admission bar in front: once the reservoir is full, a query
+// faster than the slowest retained exemplar costs one atomic load and one
+// atomic add — no lock, no allocation — which is what lets the hook sit
+// on the per-query serving path. The nil sampler discards everything, so
+// call sites need no conditional (same contract as the other obs handles).
+type SlowQuerySampler struct {
+	floor atomic.Int64 // admission bar: Ns of the fastest retained exemplar once full
+	seen  atomic.Int64 // queries offered, admitted or not
+
+	mu   sync.Mutex
+	heap []QueryExemplar // min-heap on Ns over a fixed backing array
+	capN int
+}
+
+// NewSlowQuerySampler returns a sampler retaining the n slowest
+// exemplars; n below 1 is treated as 1.
+func NewSlowQuerySampler(n int) *SlowQuerySampler {
+	if n < 1 {
+		n = 1
+	}
+	return &SlowQuerySampler{heap: make([]QueryExemplar, 0, n), capN: n}
+}
+
+// Observe offers one query to the reservoir. No-op on nil. It never
+// allocates: the reservoir's backing array is fixed at construction.
+func (s *SlowQuerySampler) Observe(u, v int32, dist float64, ns int64) {
+	if s == nil {
+		return
+	}
+	s.seen.Add(1)
+	if ns <= s.floor.Load() {
+		return
+	}
+	s.mu.Lock()
+	switch {
+	case len(s.heap) < s.capN:
+		s.heap = append(s.heap, QueryExemplar{U: u, V: v, Dist: dist, Ns: ns})
+		s.siftUp(len(s.heap) - 1)
+		if len(s.heap) == s.capN {
+			s.floor.Store(s.heap[0].Ns)
+		}
+	case ns > s.heap[0].Ns:
+		s.heap[0] = QueryExemplar{U: u, V: v, Dist: dist, Ns: ns}
+		s.siftDown(0)
+		s.floor.Store(s.heap[0].Ns)
+	}
+	s.mu.Unlock()
+}
+
+// siftUp restores the min-heap property after appending at index i.
+func (s *SlowQuerySampler) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if s.heap[p].Ns <= s.heap[i].Ns {
+			return
+		}
+		s.heap[p], s.heap[i] = s.heap[i], s.heap[p]
+		i = p
+	}
+}
+
+// siftDown restores the min-heap property after replacing index i.
+func (s *SlowQuerySampler) siftDown(i int) {
+	n := len(s.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s.heap[l].Ns < s.heap[min].Ns {
+			min = l
+		}
+		if r < n && s.heap[r].Ns < s.heap[min].Ns {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		s.heap[i], s.heap[min] = s.heap[min], s.heap[i]
+		i = min
+	}
+}
+
+// Snapshot returns a copy of the retained exemplars, slowest first (ties
+// broken by vertex IDs so the order is deterministic). Nil on a nil
+// sampler.
+func (s *SlowQuerySampler) Snapshot() []QueryExemplar {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	out := make([]QueryExemplar, len(s.heap))
+	copy(out, s.heap)
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Ns != out[j].Ns {
+			return out[i].Ns > out[j].Ns
+		}
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// Seen returns how many queries have been offered; 0 on nil.
+func (s *SlowQuerySampler) Seen() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.seen.Load()
+}
+
+// Cap returns the reservoir capacity; 0 on nil.
+func (s *SlowQuerySampler) Cap() int {
+	if s == nil {
+		return 0
+	}
+	return s.capN
+}
+
+// Len returns the number of retained exemplars; 0 on nil.
+func (s *SlowQuerySampler) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.heap)
+}

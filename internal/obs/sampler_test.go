@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSlowQuerySamplerKeepsSlowest(t *testing.T) {
+	s := NewSlowQuerySampler(3)
+	// Offer latencies 1..10 in an order that exercises both heap paths.
+	for _, ns := range []int64{5, 1, 9, 2, 7, 10, 3, 8, 4, 6} {
+		s.Observe(int32(ns), int32(ns*2), float64(ns)/2, ns)
+	}
+	got := s.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("retained %d exemplars, want 3", len(got))
+	}
+	for i, wantNs := range []int64{10, 9, 8} {
+		if got[i].Ns != wantNs {
+			t.Errorf("exemplar %d: ns=%d, want %d (snapshot %+v)", i, got[i].Ns, wantNs, got)
+		}
+	}
+	if got[0].U != 10 || got[0].V != 20 || got[0].Dist != 5 {
+		t.Errorf("slowest exemplar carries wrong tuple: %+v", got[0])
+	}
+	if s.Seen() != 10 {
+		t.Errorf("seen = %d, want 10", s.Seen())
+	}
+	if s.Len() != 3 || s.Cap() != 3 {
+		t.Errorf("len/cap = %d/%d, want 3/3", s.Len(), s.Cap())
+	}
+}
+
+// TestSlowQuerySamplerAdmissionBar checks the lock-free fast path: once
+// the reservoir is full, faster queries are rejected by the atomic floor
+// without disturbing the retained set.
+func TestSlowQuerySamplerAdmissionBar(t *testing.T) {
+	s := NewSlowQuerySampler(2)
+	s.Observe(1, 1, 0, 100)
+	s.Observe(2, 2, 0, 200)
+	if got := s.floor.Load(); got != 100 {
+		t.Fatalf("floor after fill = %d, want 100", got)
+	}
+	s.Observe(3, 3, 0, 50) // below the bar: dropped on the fast path
+	got := s.Snapshot()
+	if len(got) != 2 || got[0].Ns != 200 || got[1].Ns != 100 {
+		t.Fatalf("reservoir disturbed by fast-path reject: %+v", got)
+	}
+	s.Observe(4, 4, 0, 150) // evicts the 100ns exemplar
+	if got := s.floor.Load(); got != 150 {
+		t.Fatalf("floor after eviction = %d, want 150", got)
+	}
+}
+
+func TestSlowQuerySamplerNil(t *testing.T) {
+	var s *SlowQuerySampler
+	s.Observe(1, 2, 3, 4) // must not panic
+	if s.Snapshot() != nil || s.Seen() != 0 || s.Len() != 0 || s.Cap() != 0 {
+		t.Fatal("nil sampler must report empty state")
+	}
+}
+
+// TestSlowQuerySamplerZeroAllocs pins the Observe contract on both
+// paths: the fast reject and the locked insert never allocate.
+func TestSlowQuerySamplerZeroAllocs(t *testing.T) {
+	s := NewSlowQuerySampler(8)
+	ns := int64(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		ns++
+		s.Observe(int32(ns), int32(ns), 1.5, ns) // always admitted: heap churn
+		s.Observe(int32(ns), int32(ns), 1.5, 0)  // always rejected: fast path
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe allocated %v times per run, want 0", allocs)
+	}
+}
+
+// TestSlowQuerySamplerConcurrent hammers the sampler from many
+// goroutines; under -race this checks the atomic/mutex split.
+func TestSlowQuerySamplerConcurrent(t *testing.T) {
+	s := NewSlowQuerySampler(16)
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Observe(int32(w), int32(i), 1, int64(w*per+i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Seen() != workers*per {
+		t.Fatalf("seen = %d, want %d", s.Seen(), workers*per)
+	}
+	got := s.Snapshot()
+	if len(got) != 16 {
+		t.Fatalf("retained %d, want 16", len(got))
+	}
+	// The global slowest observation must always survive.
+	if got[0].Ns != workers*per-1 {
+		t.Fatalf("slowest retained = %d, want %d", got[0].Ns, workers*per-1)
+	}
+}

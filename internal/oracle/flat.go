@@ -53,6 +53,11 @@ type Flat struct {
 	qLatency *obs.Histogram
 	qPortals *obs.Histogram
 	batchQPS *obs.Gauge
+
+	// slow, when attached via SetSlowSampler, retains the slowest queries
+	// as (u, v, dist, ns) exemplars. Like the instruments above it is
+	// nil-safe and costs nothing when detached.
+	slow *obs.SlowQuerySampler
 }
 
 // Freeze compiles the oracle into its flat serving form. The oracle itself
@@ -131,6 +136,9 @@ func (f *Flat) N() int { return f.n }
 // Eps returns the ε the source oracle was built with.
 func (f *Flat) Eps() float64 { return f.eps }
 
+// Mode returns the portal construction the source oracle was built with.
+func (f *Flat) Mode() Mode { return f.mode }
+
 // NumKeys returns the number of interned separator-path keys.
 func (f *Flat) NumKeys() int { return len(f.keys) }
 
@@ -156,15 +164,23 @@ func (f *Flat) SetMetrics(reg *obs.Registry) {
 	reg.Gauge("oracle.flat_bytes").Set(int64(f.EncodedSize()))
 }
 
+// SetSlowSampler attaches (or, with nil, detaches) a slow-query exemplar
+// reservoir: every instrumented Query offers its (u, v, dist, ns) tuple,
+// and the sampler retains the slowest. The disabled path (no sampler, no
+// metrics) stays a single nil check with no allocation; the enabled path
+// is allocation-free too.
+func (f *Flat) SetSlowSampler(s *obs.SlowQuerySampler) { f.slow = s }
+
 // Query returns the same (1+ε)-approximate distance as the source
 // Oracle.Query, bit for bit. It is goroutine-safe and allocation-free;
-// malformed vertex IDs report +Inf. With metrics attached it observes the
-// query latency and portal work, including on the u == v fast path.
+// malformed vertex IDs report +Inf. With metrics or a slow-query sampler
+// attached it observes the query latency and portal work, including on
+// the u == v fast path.
 func (f *Flat) Query(u, v int) float64 {
 	if u < 0 || v < 0 || u >= f.n || v >= f.n {
 		return math.Inf(1)
 	}
-	if f.qLatency == nil {
+	if f.qLatency == nil && f.slow == nil {
 		if u == v {
 			return 0
 		}
@@ -173,13 +189,17 @@ func (f *Flat) Query(u, v int) float64 {
 	}
 	start := time.Now()
 	if u == v {
-		f.qLatency.Observe(float64(time.Since(start)))
+		ns := time.Since(start)
+		f.qLatency.Observe(float64(ns))
 		f.qPortals.Observe(0)
+		f.slow.Observe(int32(u), int32(v), 0, ns.Nanoseconds())
 		return 0
 	}
 	est, portals := f.query(u, v)
-	f.qLatency.Observe(float64(time.Since(start)))
+	ns := time.Since(start)
+	f.qLatency.Observe(float64(ns))
 	f.qPortals.Observe(float64(portals))
+	f.slow.Observe(int32(u), int32(v), est, ns.Nanoseconds())
 	return est
 }
 

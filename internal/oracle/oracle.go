@@ -46,6 +46,18 @@ const (
 	CoverPortal
 )
 
+// String names the mode the way the CLI flags spell it.
+func (m Mode) String() string {
+	switch m {
+	case CoverExact:
+		return "exact"
+	case CoverPortal:
+		return "portal"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
 // Options configures Build.
 type Options struct {
 	// Epsilon is the ε of the (1+ε) approximation; must be > 0.

@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"pathsep/internal/obs"
+)
+
+// ImageStatus describes the loaded flat oracle image.
+type ImageStatus struct {
+	Source     string  `json:"source,omitempty"`
+	N          int     `json:"n"`
+	Eps        float64 `json:"eps"`
+	Mode       string  `json:"mode"`
+	NumKeys    int     `json:"num_keys"`
+	NumEntries int     `json:"num_entries"`
+	NumPortals int     `json:"num_portals"`
+	Bytes      int     `json:"bytes"`
+}
+
+// ServingStatus is the live request-side accounting.
+type ServingStatus struct {
+	Inflight     int64 `json:"inflight"`
+	Queries      int64 `json:"queries"`
+	Batches      int64 `json:"batches"`
+	BatchPairs   int64 `json:"batch_pairs"`
+	Errors       int64 `json:"errors"`
+	BatchWorkers int   `json:"batch_workers"`
+	MaxBatch     int   `json:"max_batch"`
+}
+
+// SlowQuery is one exemplar rendered for the admin surface; Dist is null
+// for unreachable pairs (JSON numbers cannot carry +Inf).
+type SlowQuery struct {
+	U    int32    `json:"u"`
+	V    int32    `json:"v"`
+	Dist *float64 `json:"dist"`
+	Ns   int64    `json:"ns"`
+}
+
+// Status is the /admin/status document: everything an operator needs to
+// know about a running pathsepd in one read.
+type Status struct {
+	Service     string        `json:"service"`
+	PID         int           `json:"pid"`
+	GoVersion   string        `json:"go_version"`
+	BuildVCS    string        `json:"build_vcs,omitempty"`
+	GOMAXPROCS  int           `json:"gomaxprocs"`
+	Goroutines  int           `json:"goroutines"`
+	UptimeSec   float64       `json:"uptime_sec"`
+	Image       ImageStatus   `json:"image"`
+	Serving     ServingStatus `json:"serving"`
+	SlowQueries []SlowQuery   `json:"slow_queries,omitempty"`
+	SlowSeen    int64         `json:"slow_queries_seen,omitempty"`
+	Metrics     obs.Snapshot  `json:"metrics"`
+}
+
+// status assembles the current Status document.
+func (s *Server) status() Status {
+	st := Status{
+		Service:    "pathsepd",
+		PID:        os.Getpid(),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Goroutines: runtime.NumGoroutine(),
+		UptimeSec:  time.Since(s.started).Seconds(),
+		Image: ImageStatus{
+			Source:     s.source,
+			N:          s.flat.N(),
+			Eps:        s.flat.Eps(),
+			Mode:       s.flat.Mode().String(),
+			NumKeys:    s.flat.NumKeys(),
+			NumEntries: s.flat.NumEntries(),
+			NumPortals: s.flat.NumPortals(),
+			Bytes:      s.flat.EncodedSize(),
+		},
+		Serving: ServingStatus{
+			Inflight:     s.inflight.Load(),
+			Queries:      s.queries.Value(),
+			Batches:      s.batches.Value(),
+			BatchPairs:   s.pairs.Value(),
+			Errors:       s.errs.Value(),
+			BatchWorkers: s.workers,
+			MaxBatch:     s.maxBatch,
+		},
+		SlowSeen: s.slow.Seen(),
+		Metrics:  s.reg.Snapshot(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				st.BuildVCS = kv.Value
+			}
+		}
+	}
+	for _, e := range s.slow.Snapshot() {
+		sq := SlowQuery{U: e.U, V: e.V, Ns: e.Ns}
+		if !math.IsInf(e.Dist, 1) {
+			d := e.Dist
+			sq.Dist = &d
+		}
+		st.SlowQueries = append(st.SlowQueries, sq)
+	}
+	return st
+}
+
+// handleStatus answers GET /admin/status with the Status document.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	out, err := json.MarshalIndent(s.status(), "", "  ")
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "status marshal: "+err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_, _ = w.Write(out)
+	_, _ = w.Write([]byte("\n"))
+}

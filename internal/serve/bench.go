@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// BenchResult is one self-load measurement of a running server: a
+// single-query phase (concurrent GET /query clients, per-request latency
+// percentiles) and a batched phase (POST /query/batchbin throughput in
+// pairs per second).
+type BenchResult struct {
+	URL         string  `json:"url"`
+	GraphN      int     `json:"graph_n"`
+	DurationSec float64 `json:"duration_sec"`
+	Conc        int     `json:"conc"`
+
+	Requests int64   `json:"requests"`
+	QPS      float64 `json:"qps"`
+	P50Ns    int64   `json:"p50_ns"`
+	P90Ns    int64   `json:"p90_ns"`
+	P99Ns    int64   `json:"p99_ns"`
+	MaxNs    int64   `json:"max_ns"`
+
+	BatchSize     int     `json:"batch_size"`
+	BatchRequests int64   `json:"batch_requests"`
+	BatchPairs    int64   `json:"batch_pairs"`
+	BatchQPS      float64 `json:"batch_qps"`
+
+	Errors int64 `json:"errors"`
+}
+
+// percentile reads the q-quantile (0 <= q <= 1) of sorted latencies.
+func percentile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// LoadBench drives a running server at baseURL with random queries over
+// vertex IDs [0, n): conc concurrent single-query clients for half of d,
+// then one binary-batch client (batch pairs per POST) for the other half.
+// The deterministic seed fixes the query mix, not the timing.
+func LoadBench(baseURL string, n int, d time.Duration, conc, batch int, seed int64) (BenchResult, error) {
+	if n < 1 {
+		return BenchResult{}, fmt.Errorf("serve: bench needs a non-empty graph, got n=%d", n)
+	}
+	if conc < 1 {
+		conc = 1
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	res := BenchResult{URL: baseURL, GraphN: n, DurationSec: d.Seconds(), Conc: conc, BatchSize: batch}
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        conc + 2,
+		MaxIdleConnsPerHost: conc + 2,
+	}}
+	half := d / 2
+
+	// Phase 1: concurrent single queries, per-request latency recorded.
+	type workerOut struct {
+		lat  []int64
+		errs int64
+	}
+	outs := make([]workerOut, conc)
+	done := make(chan int, conc)
+	startSingle := time.Now()
+	deadline := startSingle.Add(half)
+	for w := 0; w < conc; w++ {
+		go func(w int) {
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			var o workerOut
+			for time.Now().Before(deadline) {
+				u, v := rng.Intn(n), rng.Intn(n)
+				t0 := time.Now()
+				resp, err := client.Get(fmt.Sprintf("%s/query?u=%d&v=%d", baseURL, u, v))
+				if err != nil {
+					o.errs++
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				_ = resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					o.errs++
+					continue
+				}
+				o.lat = append(o.lat, time.Since(t0).Nanoseconds())
+			}
+			outs[w] = o
+			done <- w
+		}(w)
+	}
+	for w := 0; w < conc; w++ {
+		<-done
+	}
+	singleElapsed := time.Since(startSingle) // >= half by construction
+	var lat []int64
+	for _, o := range outs {
+		lat = append(lat, o.lat...)
+		res.Errors += o.errs
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	res.Requests = int64(len(lat))
+	if singleElapsed > 0 {
+		res.QPS = float64(len(lat)) / singleElapsed.Seconds()
+	}
+	res.P50Ns = percentile(lat, 0.50)
+	res.P90Ns = percentile(lat, 0.90)
+	res.P99Ns = percentile(lat, 0.99)
+	if len(lat) > 0 {
+		res.MaxNs = lat[len(lat)-1]
+	}
+
+	// Phase 2: one binary-batch client.
+	rng := rand.New(rand.NewSource(seed + int64(conc)))
+	body := make([]byte, 8*batch)
+	deadline = time.Now().Add(half)
+	startBatch := time.Now()
+	for time.Now().Before(deadline) {
+		for i := 0; i < batch; i++ {
+			binary.LittleEndian.PutUint32(body[8*i:], uint32(rng.Intn(n)))
+			binary.LittleEndian.PutUint32(body[8*i+4:], uint32(rng.Intn(n)))
+		}
+		resp, err := client.Post(baseURL+"/query/batchbin", "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			res.Errors++
+			continue
+		}
+		nread, _ := io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || nread != int64(8*batch) {
+			res.Errors++
+			continue
+		}
+		res.BatchRequests++
+		res.BatchPairs += int64(batch)
+	}
+	if el := time.Since(startBatch); el > 0 {
+		res.BatchQPS = float64(res.BatchPairs) / el.Seconds()
+	}
+	client.CloseIdleConnections()
+	if res.Requests == 0 && res.BatchRequests == 0 {
+		return res, fmt.Errorf("serve: bench completed zero requests against %s (%d errors)", baseURL, res.Errors)
+	}
+	return res, nil
+}

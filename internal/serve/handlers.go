@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"pathsep/internal/oracle"
+)
+
+// writeDist appends a JSON distance value: a number, or null for +Inf
+// (unreachable or out-of-range vertices), which no JSON number can carry.
+func writeDist(buf *bytes.Buffer, d float64) {
+	if math.IsInf(d, 1) {
+		buf.WriteString("null")
+		return
+	}
+	buf.WriteString(strconv.FormatFloat(d, 'g', -1, 64))
+}
+
+// handleQuery answers GET /query?u=&v= with one distance:
+//
+//	{"u":3,"v":9,"dist":4.25,"ns":810}
+//
+// dist is null when v is unreachable from u or either ID is out of range.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	q := r.URL.Query()
+	u, errU := strconv.Atoi(q.Get("u"))
+	v, errV := strconv.Atoi(q.Get("v"))
+	if errU != nil || errV != nil {
+		s.fail(w, http.StatusBadRequest, "u and v must be integer vertex IDs")
+		return
+	}
+	start := time.Now()
+	d := s.flat.Query(u, v)
+	ns := time.Since(start).Nanoseconds()
+	s.queries.Inc()
+
+	var buf bytes.Buffer
+	buf.WriteString(`{"u":`)
+	buf.WriteString(strconv.Itoa(u))
+	buf.WriteString(`,"v":`)
+	buf.WriteString(strconv.Itoa(v))
+	buf.WriteString(`,"dist":`)
+	writeDist(&buf, d)
+	buf.WriteString(`,"ns":`)
+	buf.WriteString(strconv.FormatInt(ns, 10))
+	buf.WriteString("}\n")
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_, _ = w.Write(buf.Bytes())
+}
+
+// batchRequest is the JSON batch body: {"pairs":[[u,v],...]}.
+type batchRequest struct {
+	Pairs [][2]int32 `json:"pairs"`
+}
+
+// handleBatchJSON answers POST /query/batch:
+//
+//	{"pairs":[[0,5],[3,9]]}  ->  {"n":2,"dists":[1.5,null]}
+//
+// dists align with pairs; null marks unreachable/out-of-range pairs.
+func (s *Server) handleBatchJSON(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, int64(s.maxBatch)*64+4096))
+	if err != nil {
+		s.fail(w, http.StatusRequestEntityTooLarge, "body too large or unreadable")
+		return
+	}
+	var req batchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if len(req.Pairs) > s.maxBatch {
+		s.fail(w, http.StatusRequestEntityTooLarge,
+			"batch of "+strconv.Itoa(len(req.Pairs))+" pairs exceeds the cap of "+strconv.Itoa(s.maxBatch))
+		return
+	}
+	pairs := s.getPairs(len(req.Pairs))
+	for i, p := range req.Pairs {
+		pairs[i] = oracle.Pair{U: p[0], V: p[1]}
+	}
+	dists := s.getDists(len(pairs))
+	dists = s.flat.QueryBatchWorkers(pairs, dists, s.workers)
+	s.batches.Inc()
+	s.pairs.Add(int64(len(pairs)))
+
+	var buf bytes.Buffer
+	buf.WriteString(`{"n":`)
+	buf.WriteString(strconv.Itoa(len(dists)))
+	buf.WriteString(`,"dists":[`)
+	for i, d := range dists {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		writeDist(&buf, d)
+	}
+	buf.WriteString("]}\n")
+	s.putPairs(pairs)
+	s.putDists(dists)
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_, _ = w.Write(buf.Bytes())
+}
+
+// handleBatchBin answers POST /query/batchbin, the wire format for bulk
+// traffic: the body is little-endian (uint32 u, uint32 v) pairs, the
+// response is one little-endian float64 per pair (+Inf for unreachable),
+// in order. No framing, no escaping — length is the pair count.
+func (s *Server) handleBatchBin(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, int64(s.maxBatch)*8+8))
+	if err != nil {
+		s.fail(w, http.StatusRequestEntityTooLarge, "body too large or unreadable")
+		return
+	}
+	if len(body)%8 != 0 {
+		s.fail(w, http.StatusBadRequest, "body length must be a multiple of 8 (uint32 u, uint32 v per pair)")
+		return
+	}
+	n := len(body) / 8
+	if n > s.maxBatch {
+		s.fail(w, http.StatusRequestEntityTooLarge,
+			"batch of "+strconv.Itoa(n)+" pairs exceeds the cap of "+strconv.Itoa(s.maxBatch))
+		return
+	}
+	pairs := s.getPairs(n)
+	decodePairs(pairs, body)
+	dists := s.getDists(n)
+	dists = s.flat.QueryBatchWorkers(pairs, dists, s.workers)
+	out := s.getBytes(8 * n)
+	encodeDists(out, dists)
+	s.batches.Inc()
+	s.pairs.Add(int64(n))
+
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(out)))
+	_, _ = w.Write(out)
+	s.putPairs(pairs)
+	s.putDists(dists)
+	s.putBytes(out)
+}
+
+// decodePairs parses len(dst) little-endian (uint32, uint32) pairs from
+// src into dst. The caller sizes both; the loop stays allocation-free so
+// the binary batch path costs only its pooled buffers.
+//
+//pathsep:hotpath
+func decodePairs(dst []oracle.Pair, src []byte) {
+	for i := range dst {
+		u := binary.LittleEndian.Uint32(src[8*i:])
+		v := binary.LittleEndian.Uint32(src[8*i+4:])
+		dst[i] = oracle.Pair{U: int32(u), V: int32(v)}
+	}
+}
+
+// encodeDists writes src as little-endian float64 bits into dst, which
+// the caller has sized to 8*len(src).
+//
+//pathsep:hotpath
+func encodeDists(dst []byte, src []float64) {
+	for i, d := range src {
+		binary.LittleEndian.PutUint64(dst[8*i:], math.Float64bits(d))
+	}
+}

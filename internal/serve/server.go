@@ -1,0 +1,210 @@
+// Package serve hosts a frozen flat oracle (oracle.Flat) behind HTTP —
+// the off-process serving form of the library. One Server owns one
+// immutable image and exposes:
+//
+//	GET  /query?u=&v=      one distance query, JSON
+//	POST /query/batch      JSON batch: {"pairs":[[u,v],...]} -> {"dists":[...]}
+//	POST /query/batchbin   binary batch: LE uint32 pairs in, LE float64 out
+//	GET  /admin/status     image metadata, serving stats, slow-query
+//	                       exemplars, obs snapshot, build info
+//	GET  /healthz          liveness
+//	GET  /metrics          Prometheus text format (via internal/obs)
+//	     /debug/vars, /debug/pprof/*
+//
+// Everything rides the stdlib net/http server, so graceful drain is
+// http.Server.Shutdown: the listener closes first, in-flight queries
+// complete, then Shutdown returns.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pathsep/internal/obs"
+	"pathsep/internal/oracle"
+)
+
+// DefaultMaxBatch caps the pairs accepted by one batch request when
+// Config.MaxBatch is zero.
+const DefaultMaxBatch = 1 << 16
+
+// Config assembles a Server.
+type Config struct {
+	// Flat is the image to serve. Required. New attaches serving metrics
+	// (and the sampler, when given) to it.
+	Flat *oracle.Flat
+	// Reg receives all serving instruments; a private registry is created
+	// when nil, so /metrics always has something to say.
+	Reg *obs.Registry
+	// Slow, when non-nil, retains the slowest queries as exemplars,
+	// surfaced by /admin/status.
+	Slow *obs.SlowQuerySampler
+	// Workers is the QueryBatch pool width (0 = GOMAXPROCS, 1 = serial).
+	Workers int
+	// MaxBatch caps pairs per batch request (0 = DefaultMaxBatch).
+	MaxBatch int
+	// Source describes where the image came from ("file:oracle.flat",
+	// "built:grid64"), echoed by /admin/status.
+	Source string
+}
+
+// Server serves one flat oracle image. Create with New, start with Start
+// (or mount Handler on your own server), stop with Shutdown.
+type Server struct {
+	flat     *oracle.Flat
+	reg      *obs.Registry
+	slow     *obs.SlowQuerySampler
+	workers  int
+	maxBatch int
+	source   string
+	started  time.Time
+
+	mux *http.ServeMux
+	srv *http.Server
+
+	inflight  atomic.Int64
+	queries   *obs.Counter
+	batches   *obs.Counter
+	pairs     *obs.Counter
+	errs      *obs.Counter
+	inflightG *obs.Gauge
+	reqNs     *obs.Histogram
+
+	pairBufs sync.Pool // *[]oracle.Pair
+	distBufs sync.Pool // *[]float64
+	byteBufs sync.Pool // *[]byte
+}
+
+// New wires a Server over cfg.Flat. The flat image gains the registry's
+// query instruments and the slow-query sampler as a side effect.
+func New(cfg Config) (*Server, error) {
+	if cfg.Flat == nil {
+		return nil, errors.New("serve: Config.Flat is required")
+	}
+	if cfg.MaxBatch < 0 {
+		return nil, fmt.Errorf("serve: negative MaxBatch %d", cfg.MaxBatch)
+	}
+	reg := cfg.Reg
+	if reg == nil {
+		reg = obs.New()
+	}
+	s := &Server{
+		flat:     cfg.Flat,
+		reg:      reg,
+		slow:     cfg.Slow,
+		workers:  cfg.Workers,
+		maxBatch: cfg.MaxBatch,
+		source:   cfg.Source,
+		started:  time.Now(),
+	}
+	if s.maxBatch == 0 {
+		s.maxBatch = DefaultMaxBatch
+	}
+	s.flat.SetMetrics(reg)
+	s.flat.SetSlowSampler(cfg.Slow)
+	s.queries = reg.Counter("serve.queries")
+	s.batches = reg.Counter("serve.batches")
+	s.pairs = reg.Counter("serve.batch_pairs")
+	s.errs = reg.Counter("serve.errors")
+	s.inflightG = reg.Gauge("serve.inflight")
+	s.reqNs = reg.Histogram("serve.request_ns")
+
+	s.mux = http.NewServeMux()
+	s.mux.Handle("/query", s.track(http.HandlerFunc(s.handleQuery)))
+	s.mux.Handle("/query/batch", s.track(http.HandlerFunc(s.handleBatchJSON)))
+	s.mux.Handle("/query/batchbin", s.track(http.HandlerFunc(s.handleBatchBin)))
+	s.mux.HandleFunc("/admin/status", s.handleStatus)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	obs.RegisterDebug(s.mux, reg)
+	s.srv = &http.Server{Handler: s.mux}
+	return s, nil
+}
+
+// Handler returns the server's mux, for mounting under httptest or an
+// outer server. Requests served this way still count toward the serving
+// instruments, but are not drained by Shutdown.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start binds addr (":0" picks a free port) and serves in a background
+// goroutine. It returns the bound address; failures to bind surface here.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	s.srv.Addr = ln.Addr().String()
+	go func() {
+		// http.ErrServerClosed is the normal Shutdown result; a dying
+		// listener surfaces through failing requests and Shutdown itself.
+		_ = s.srv.Serve(ln)
+	}()
+	return ln.Addr(), nil
+}
+
+// Shutdown drains the server: the listener closes immediately, requests
+// already being served run to completion (bounded by ctx), and the
+// instruments keep counting until the last one finishes.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.srv.Shutdown(ctx)
+}
+
+// Inflight reports the query requests currently being served.
+func (s *Server) Inflight() int64 { return s.inflight.Load() }
+
+// track wraps a query handler with the in-flight gauge and the request
+// latency histogram.
+func (s *Server) track(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := s.inflight.Add(1)
+		s.inflightG.Set(n)
+		start := time.Now()
+		h.ServeHTTP(w, r)
+		s.reqNs.Observe(float64(time.Since(start)))
+		s.inflightG.Set(s.inflight.Add(-1))
+	})
+}
+
+// fail rejects a request with a plain-text error and counts it.
+func (s *Server) fail(w http.ResponseWriter, code int, msg string) {
+	s.errs.Inc()
+	http.Error(w, msg, code)
+}
+
+// getPairs returns a pooled pair buffer of length n.
+func (s *Server) getPairs(n int) []oracle.Pair {
+	if p, ok := s.pairBufs.Get().(*[]oracle.Pair); ok && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]oracle.Pair, n)
+}
+
+func (s *Server) putPairs(p []oracle.Pair) { s.pairBufs.Put(&p) }
+
+// getDists returns a pooled distance buffer of length n.
+func (s *Server) getDists(n int) []float64 {
+	if p, ok := s.distBufs.Get().(*[]float64); ok && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]float64, n)
+}
+
+func (s *Server) putDists(p []float64) { s.distBufs.Put(&p) }
+
+// getBytes returns a pooled byte buffer of length n.
+func (s *Server) getBytes(n int) []byte {
+	if p, ok := s.byteBufs.Get().(*[]byte); ok && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]byte, n)
+}
+
+func (s *Server) putBytes(p []byte) { s.byteBufs.Put(&p) }

@@ -1,0 +1,384 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pathsep/internal/core"
+	"pathsep/internal/embed"
+	"pathsep/internal/graph"
+	"pathsep/internal/obs"
+	"pathsep/internal/oracle"
+)
+
+// testFlat builds and freezes a small grid oracle.
+func testFlat(tb testing.TB) *oracle.Flat {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(11))
+	r := embed.Grid(12, 12, graph.UniformWeights(1, 4), rng)
+	dec, err := core.Decompose(r.G, core.Options{Strategy: core.Auto{}, Rot: r})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	o, err := oracle.Build(dec, oracle.Options{Epsilon: 0.25, Mode: oracle.CoverPortal})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	fl, err := o.Freeze()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return fl
+}
+
+// newTestServer wires a Server (with sampler) plus an httptest front end.
+func newTestServer(tb testing.TB, cfg Config) (*Server, *httptest.Server, *oracle.Flat) {
+	tb.Helper()
+	fl := cfg.Flat
+	if fl == nil {
+		fl = testFlat(tb)
+		cfg.Flat = fl
+	}
+	s, err := New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	tb.Cleanup(ts.Close)
+	return s, ts, fl
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	_, ts, fl := newTestServer(t, Config{Slow: obs.NewSlowQuerySampler(4)})
+
+	resp, err := http.Get(ts.URL + "/query?u=0&v=17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var got struct {
+		U    int      `json:"u"`
+		V    int      `json:"v"`
+		Dist *float64 `json:"dist"`
+		Ns   int64    `json:"ns"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	want := fl.Query(0, 17)
+	if got.U != 0 || got.V != 17 || got.Dist == nil || *got.Dist != want {
+		t.Fatalf("got %+v, want dist %v", got, want)
+	}
+	if got.Ns < 0 {
+		t.Fatalf("negative latency %d", got.Ns)
+	}
+
+	// Out-of-range vertex: +Inf surfaces as null, not a JSON error.
+	resp2, err := http.Get(ts.URL + "/query?u=0&v=99999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body, _ := io.ReadAll(resp2.Body)
+	if resp2.StatusCode != http.StatusOK || !strings.Contains(string(body), `"dist":null`) {
+		t.Fatalf("out-of-range: status=%d body=%s", resp2.StatusCode, body)
+	}
+
+	// Malformed arguments are a 400.
+	resp3, err := http.Get(ts.URL + "/query?u=zero&v=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp3.Body)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad args: status=%d, want 400", resp3.StatusCode)
+	}
+}
+
+func TestBatchJSONEndpoint(t *testing.T) {
+	_, ts, fl := newTestServer(t, Config{})
+	req := `{"pairs":[[0,5],[3,9],[7,7],[0,99999]]}`
+	resp, err := http.Post(ts.URL+"/query/batch", "application/json", strings.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got struct {
+		N     int        `json:"n"`
+		Dists []*float64 `json:"dists"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.N != 4 || len(got.Dists) != 4 {
+		t.Fatalf("n=%d len=%d, want 4/4", got.N, len(got.Dists))
+	}
+	for i, pair := range [][2]int{{0, 5}, {3, 9}, {7, 7}, {0, 99999}} {
+		want := fl.Query(pair[0], pair[1])
+		if math.IsInf(want, 1) {
+			if got.Dists[i] != nil {
+				t.Errorf("pair %d: got %v, want null", i, *got.Dists[i])
+			}
+			continue
+		}
+		if got.Dists[i] == nil || *got.Dists[i] != want {
+			t.Errorf("pair %d: got %v, want %v", i, got.Dists[i], want)
+		}
+	}
+}
+
+func TestBatchBinEndpoint(t *testing.T) {
+	_, ts, fl := newTestServer(t, Config{})
+	pairs := [][2]int32{{0, 5}, {3, 9}, {143, 0}, {7, 7}, {0, 1 << 30}}
+	body := make([]byte, 8*len(pairs))
+	for i, p := range pairs {
+		binary.LittleEndian.PutUint32(body[8*i:], uint32(p[0]))
+		binary.LittleEndian.PutUint32(body[8*i+4:], uint32(p[1]))
+	}
+	resp, err := http.Post(ts.URL+"/query/batchbin", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || len(out) != 8*len(pairs) {
+		t.Fatalf("status=%d len=%d, want 200/%d", resp.StatusCode, len(out), 8*len(pairs))
+	}
+	for i, p := range pairs {
+		got := math.Float64frombits(binary.LittleEndian.Uint64(out[8*i:]))
+		want := fl.Query(int(p[0]), int(p[1]))
+		// Bitwise: the wire carries exactly what Flat.Query answers.
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("pair %d (%d,%d): got %v, want %v", i, p[0], p[1], got, want)
+		}
+	}
+
+	// A body that is not whole pairs is a 400.
+	resp2, err := http.Post(ts.URL+"/query/batchbin", "application/octet-stream", bytes.NewReader(body[:13]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("ragged body: status=%d, want 400", resp2.StatusCode)
+	}
+}
+
+func TestBatchCap(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{MaxBatch: 2})
+	body := make([]byte, 8*3)
+	resp, err := http.Post(ts.URL+"/query/batchbin", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over-cap batch: status=%d, want 413", resp.StatusCode)
+	}
+}
+
+func TestAdminStatus(t *testing.T) {
+	s, ts, fl := newTestServer(t, Config{
+		Slow:   obs.NewSlowQuerySampler(4),
+		Source: "test:grid12",
+	})
+	// Drive some traffic first so the counters are non-trivial.
+	for i := 0; i < 5; i++ {
+		resp, err := http.Get(fmt.Sprintf("%s/query?u=%d&v=%d", ts.URL, i, 100+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(ts.URL + "/admin/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Service != "pathsepd" || st.Image.Source != "test:grid12" {
+		t.Fatalf("identity fields wrong: %+v", st)
+	}
+	if st.Image.N != fl.N() || st.Image.Bytes != fl.EncodedSize() || st.Image.Mode != "portal" {
+		t.Fatalf("image metadata wrong: %+v", st.Image)
+	}
+	if st.Serving.Queries != 5 {
+		t.Fatalf("queries = %d, want 5", st.Serving.Queries)
+	}
+	if len(st.SlowQueries) == 0 || st.SlowSeen != 5 {
+		t.Fatalf("slow-query exemplars missing: %+v (seen %d)", st.SlowQueries, st.SlowSeen)
+	}
+	if st.Metrics.Histograms["oracle.query_ns"].Count != 5 {
+		t.Fatalf("obs snapshot not embedded: %+v", st.Metrics.Histograms)
+	}
+	if s.Inflight() != 0 {
+		t.Fatalf("inflight = %d after all requests done", s.Inflight())
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/query?u=0&v=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE pathsep_serve_queries counter\n",
+		"pathsep_serve_queries 1\n",
+		"# TYPE pathsep_oracle_query_ns histogram\n",
+		`pathsep_oracle_query_ns_bucket{le="+Inf"} 1` + "\n",
+		"# TYPE pathsep_go_goroutines gauge\n",
+		"pathsep_oracle_flat_bytes ",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+}
+
+// TestDrainInFlightCompletes pins graceful drain: a request already being
+// served when Shutdown starts runs to completion and gets its response,
+// while the listener stops accepting new work. The in-flight request is
+// held open deterministically by a half-sent body (the handler blocks in
+// ReadAll until the client finishes), not by sleeps.
+func TestDrainInFlightCompletes(t *testing.T) {
+	fl := testFlat(t)
+	s, err := New(Config{Flat: fl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr.String()
+
+	// One pair, sent in two halves through a pipe.
+	var pairBuf [8]byte
+	binary.LittleEndian.PutUint32(pairBuf[0:], 0)
+	binary.LittleEndian.PutUint32(pairBuf[4:], 17)
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, base+"/query/batchbin", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.ContentLength = 8
+
+	type result struct {
+		resp *http.Response
+		err  error
+	}
+	reqDone := make(chan result, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		reqDone <- result{resp, err}
+	}()
+	if _, err := pw.Write(pairBuf[:4]); err != nil {
+		t.Fatal(err)
+	}
+	// The handler is now blocked reading the body; wait until the server
+	// has actually accepted it before draining.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Inflight() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never reached the handler")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	shutDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutDone <- s.Shutdown(ctx)
+	}()
+
+	// New connections are refused once Shutdown has closed the listener.
+	refusedDeadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := http.Get(base + "/healthz"); err != nil {
+			break
+		}
+		if time.Now().After(refusedDeadline) {
+			t.Fatal("listener still accepting long after Shutdown began")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Complete the in-flight body: the drained request must still answer.
+	if _, err := pw.Write(pairBuf[4:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := pw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res := <-reqDone
+	if res.err != nil {
+		t.Fatalf("in-flight request failed during drain: %v", res.err)
+	}
+	defer res.resp.Body.Close()
+	out, err := io.ReadAll(res.resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.resp.StatusCode != http.StatusOK || len(out) != 8 {
+		t.Fatalf("in-flight response: status=%d len=%d", res.resp.StatusCode, len(out))
+	}
+	got := math.Float64frombits(binary.LittleEndian.Uint64(out))
+	if want := fl.Query(0, 17); math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("drained answer %v, want %v", got, want)
+	}
+	if err := <-shutDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New without a Flat must fail")
+	}
+	if _, err := New(Config{Flat: testFlat(t), MaxBatch: -1}); err == nil {
+		t.Fatal("New with negative MaxBatch must fail")
+	}
+}

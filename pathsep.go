@@ -35,7 +35,9 @@ package pathsep
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
 
 	"pathsep/internal/core"
 	"pathsep/internal/doubling"
@@ -71,10 +73,27 @@ type DecompositionTrace = obs.Trace
 // NewDecompositionTrace returns an empty trace.
 func NewDecompositionTrace() *DecompositionTrace { return obs.NewTrace() }
 
-// ServeDebug exposes the metrics snapshot at /debug/vars and the
-// net/http/pprof endpoints at /debug/pprof on addr. It blocks; run it in
-// a goroutine.
-func ServeDebug(addr string, m *Metrics) error { return obs.Serve(addr, m) }
+// ServeDebug binds addr and serves the observability endpoints for m on
+// a private mux in the background: /metrics (Prometheus text format),
+// /debug/vars (expvar-style JSON with the snapshot under "pathsep") and
+// /debug/pprof. It returns once the listener is bound; shut it down with
+// the returned server's Shutdown or Close.
+func ServeDebug(addr string, m *Metrics) (*http.Server, error) { return obs.Serve(addr, m) }
+
+// WriteMetricsPrometheus writes m in the Prometheus text exposition
+// format (version 0.0.4), sorted by metric name.
+func WriteMetricsPrometheus(w io.Writer, m *Metrics) error { return m.WritePrometheus(w) }
+
+// SlowQuerySampler retains the N slowest query exemplars (u, v, dist,
+// ns); attach one to a FlatOracle with SetSlowSampler. The nil sampler
+// discards everything at zero cost.
+type SlowQuerySampler = obs.SlowQuerySampler
+
+// QueryExemplar is one retained slow-query sample.
+type QueryExemplar = obs.QueryExemplar
+
+// NewSlowQuerySampler returns a sampler retaining the n slowest queries.
+func NewSlowQuerySampler(n int) *SlowQuerySampler { return obs.NewSlowQuerySampler(n) }
 
 // Graph is a weighted undirected graph; build one with NewBuilder or a
 // generator.
