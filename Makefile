@@ -62,7 +62,8 @@ FUZZ_TARGETS := \
 	internal/oracle:FuzzDecodeOracle \
 	internal/oracle:FuzzDecodeFlat \
 	internal/oracle:FuzzFlatRoundTrip \
-	internal/routing:FuzzDecodeAddr
+	internal/routing:FuzzDecodeAddr \
+	internal/serve:FuzzReloadImage
 
 # Short coverage-guided runs of every fuzz target; seed corpora alone run
 # in plain `go test`, this also mutates for FUZZTIME each.

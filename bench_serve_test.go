@@ -66,7 +66,10 @@ func TestServeBenchGate(t *testing.T) {
 		}
 	}()
 
-	res, err := serve.LoadBench("http://"+addr.String(), fl.N(), 2*time.Second, 4, 1024, 23)
+	// Six image swaps fire mid-load (the same image re-posted: a full
+	// decode + flip + drain each time), so BENCH_serve.json also records
+	// what a zero-downtime reload costs under traffic.
+	res, err := serve.LoadBenchReload("http://"+addr.String(), fl.N(), 2*time.Second, 4, 1024, 23, fl.Encode(), 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,11 +87,14 @@ func TestServeBenchGate(t *testing.T) {
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("wrote BENCH_serve.json: qps=%.0f p50=%dns p99=%dns batch=%.0f pairs/s errors=%d",
-		res.QPS, res.P50Ns, res.P99Ns, res.BatchQPS, res.Errors)
+	t.Logf("wrote BENCH_serve.json: qps=%.0f p50=%dns p99=%dns batch=%.0f pairs/s errors=%d reloads=%d reload_p99=%dns",
+		res.QPS, res.P50Ns, res.P99Ns, res.BatchQPS, res.Errors, res.Reloads, res.ReloadP99Ns)
 
 	if res.Errors != 0 {
 		t.Fatalf("self-load produced %d request errors", res.Errors)
+	}
+	if res.Reloads < 1 || res.ReloadErrors != 0 {
+		t.Fatalf("mid-load reloads: %d succeeded, %d failed; want >=1 and 0", res.Reloads, res.ReloadErrors)
 	}
 	if res.Requests == 0 || res.QPS <= 0 {
 		t.Fatalf("single-query phase served no traffic: %+v", res)

@@ -65,7 +65,7 @@ func main() {
 		reg = obs.New()
 	}
 	if *pprofAddr != "" {
-		srv, err := obs.Serve(*pprofAddr, reg)
+		srv, _, err := obs.Serve(*pprofAddr, reg)
 		if err != nil {
 			fail(err)
 		}

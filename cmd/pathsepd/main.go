@@ -12,12 +12,15 @@
 //	POST /query/batch      JSON batch
 //	POST /query/batchbin   binary batch (LE uint32 pairs -> LE float64)
 //	GET  /admin/status     image metadata, serving stats, slow queries
+//	POST /admin/reload     swap in a new flat image without downtime
 //	GET  /healthz          liveness
 //	GET  /metrics          Prometheus text format
 //	     /debug/vars, /debug/pprof/*
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: the listener closes,
 // in-flight requests finish (bounded by -drain), then the process exits.
+// SIGHUP re-reads the -image file and swaps it in atomically; in-flight
+// queries finish on the generation they started with.
 //
 // With -serve-bench the daemon instead self-loads: it binds an ephemeral
 // port, fires the load generator at itself, writes QPS/p50/p99 to
@@ -57,6 +60,7 @@ func main() {
 	serveBench := flag.Duration("serve-bench", 0, "self-load for this long, write the results, and exit")
 	benchConc := flag.Int("bench-conc", 4, "concurrent single-query clients for -serve-bench")
 	benchBatch := flag.Int("bench-batch", 1024, "pairs per binary batch for -serve-bench")
+	benchReloads := flag.Int("bench-reloads", 6, "image swaps to fire mid-load during -serve-bench (0 disables)")
 	benchOut := flag.String("bench-out", "BENCH_serve.json", "where -serve-bench writes its measurements")
 	seed := flag.Int64("seed", 1, "random seed for -serve-bench traffic")
 	flag.Parse()
@@ -69,6 +73,20 @@ func main() {
 	if !(*eps > 0) || math.IsInf(*eps, 1) {
 		fmt.Fprintf(os.Stderr, "pathsepd: -eps must be a positive finite number, got %v\n", *eps)
 		os.Exit(2)
+	}
+	if *maxBatch <= 0 {
+		fmt.Fprintf(os.Stderr, "pathsepd: -max-batch must be positive, got %d\n", *maxBatch)
+		os.Exit(2)
+	}
+	if *image != "" {
+		// Fail the bad path before building anything: a typo'd image path
+		// should be a crisp usage error, not a late decode failure.
+		if f, err := os.Open(*image); err != nil {
+			fmt.Fprintf(os.Stderr, "pathsepd: -image: %v\n", err)
+			os.Exit(2)
+		} else {
+			f.Close()
+		}
 	}
 
 	fl, source, err := loadFlat(*image, *graphIn, *eps, *mode, *workers, *saveImage)
@@ -95,7 +113,7 @@ func main() {
 	}
 
 	if *serveBench > 0 {
-		runBench(srv, fl.N(), *serveBench, *benchConc, *benchBatch, *benchOut, *seed, *drain)
+		runBench(srv, fl, *serveBench, *benchConc, *benchBatch, *benchReloads, *benchOut, *seed, *drain)
 		return
 	}
 
@@ -107,7 +125,31 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	<-ctx.Done()
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	// SIGHUP re-reads -image and swaps it in without dropping traffic.
+	// Handled here in main (no extra goroutine): reloads are rare and the
+	// daemon has nothing else to do but wait for signals.
+wait:
+	for {
+		select {
+		case <-ctx.Done():
+			break wait
+		case <-hup:
+			if *image == "" {
+				fmt.Fprintln(os.Stderr, "pathsepd: SIGHUP ignored: serving a -graph build, no image file to reload")
+				continue
+			}
+			res, err := srv.ReloadFromFile(*image)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pathsepd: %v\n", err)
+				continue
+			}
+			fmt.Printf("pathsepd: reloaded %s: generation %d (n=%d, %d bytes, load %s, drained=%v)\n",
+				*image, res.Generation, res.N, res.Bytes, time.Duration(res.LoadNs), res.Drained)
+		}
+	}
 	stop()
 	fmt.Println("pathsepd: draining...")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
@@ -179,13 +221,18 @@ func loadFlat(image, graphIn string, eps float64, mode string, workers int, save
 }
 
 // runBench self-loads the server on an ephemeral port and writes the
-// measurements as JSON.
-func runBench(srv *serve.Server, n int, d time.Duration, conc, batch int, out string, seed int64, drain time.Duration) {
+// measurements as JSON. With reloads > 0 the load generator also swaps
+// the image mid-run, so the output records reload latency under traffic.
+func runBench(srv *serve.Server, fl *oracle.Flat, d time.Duration, conc, batch, reloads int, out string, seed int64, drain time.Duration) {
 	addr, err := srv.Start("127.0.0.1:0")
 	if err != nil {
 		fail(err)
 	}
-	res, err := serve.LoadBench("http://"+addr.String(), n, d, conc, batch, seed)
+	var img []byte
+	if reloads > 0 {
+		img = fl.Encode()
+	}
+	res, err := serve.LoadBenchReload("http://"+addr.String(), fl.N(), d, conc, batch, seed, img, reloads)
 	if err != nil {
 		fail(err)
 	}
@@ -207,8 +254,8 @@ func runBench(srv *serve.Server, n int, d time.Duration, conc, batch int, out st
 	if err := f.Close(); err != nil {
 		fail(err)
 	}
-	fmt.Printf("serve-bench: %d reqs %.0f qps p50=%dns p99=%dns; batch %.0f pairs/s (batch=%d) -> %s\n",
-		res.Requests, res.QPS, res.P50Ns, res.P99Ns, res.BatchQPS, batch, out)
+	fmt.Printf("serve-bench: %d reqs %.0f qps p50=%dns p99=%dns; batch %.0f pairs/s (batch=%d); %d reloads p99=%dns -> %s\n",
+		res.Requests, res.QPS, res.P50Ns, res.P99Ns, res.BatchQPS, batch, res.Reloads, res.ReloadP99Ns, out)
 }
 
 func fail(err error) {

@@ -35,7 +35,7 @@ func main() {
 		reg = obs.New()
 	}
 	if *pprofAddr != "" {
-		srv, err := obs.Serve(*pprofAddr, reg)
+		srv, _, err := obs.Serve(*pprofAddr, reg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "smallworld: pprof server: %v\n", err)
 			os.Exit(1)

@@ -14,10 +14,19 @@
 //     slots, never shared appends/maps/scalars
 //   - sortcmp:     sort.Slice less-functions are strict weak orderings and
 //     compare floats via core/floatcmp
+//   - atomicmix:   memory touched through sync/atomic is never accessed
+//     plainly, and atomic.Pointer pointees are initialized before publish
+//   - poolleak:    sync.Pool buffers reach a Put on every path, with no
+//     use-after-Put and no foreign or cross-pool Put
+//   - ctxdone:     serving-plane goroutines are tied to a shutdown signal
+//     or carry an explicit //pathsep:detached
 //
 // The determinism trio (maporder, slotwrite, sortcmp) shares the ssaflow
 // value-flow layer and is backed at runtime by `make determinism`, which
 // rebuilds the oracle under shuffled schedules and byte-compares encodings.
+// The concurrency trio (atomicmix, poolleak, ctxdone) guards the serving
+// plane's lock-free image swap, buffer pools, and graceful drain; its
+// runtime backstop is the -race swap/drain tests in internal/serve.
 //
 // The suite runs as `go vet -vettool=bin/pathsep-lint` (see cmd/pathsep-lint
 // and `make lint`), and each analyzer carries analysistest-style coverage
@@ -27,11 +36,14 @@ package analyzers
 import (
 	"golang.org/x/tools/go/analysis"
 
+	"pathsep/internal/analyzers/atomicmix"
+	"pathsep/internal/analyzers/ctxdone"
 	"pathsep/internal/analyzers/errctx"
 	"pathsep/internal/analyzers/floatcmp"
 	"pathsep/internal/analyzers/hotalloc"
 	"pathsep/internal/analyzers/maporder"
 	"pathsep/internal/analyzers/obsnilguard"
+	"pathsep/internal/analyzers/poolleak"
 	"pathsep/internal/analyzers/seededrand"
 	"pathsep/internal/analyzers/slotwrite"
 	"pathsep/internal/analyzers/sortcmp"
@@ -41,11 +53,14 @@ import (
 // All returns every analyzer in the suite, in stable order.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		atomicmix.Analyzer,
+		ctxdone.Analyzer,
 		errctx.Analyzer,
 		floatcmp.Analyzer,
 		hotalloc.Analyzer,
 		maporder.Analyzer,
 		obsnilguard.Analyzer,
+		poolleak.Analyzer,
 		seededrand.Analyzer,
 		slotwrite.Analyzer,
 		sortcmp.Analyzer,

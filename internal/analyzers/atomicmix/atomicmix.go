@@ -1,0 +1,360 @@
+// Package atomicmix keeps every piece of memory on one side of the
+// atomic/plain divide. The serving plane (internal/serve's image slot,
+// internal/obs's instruments, internal/par's work counters) is built on
+// sync/atomic, and the Go memory model gives those operations meaning
+// only when *every* access to the same location is atomic: one plain
+// read racing one atomic write is still a data race, and `go test -race`
+// only sees the schedules the tests happen to produce. This pass makes
+// the discipline a compile-time invariant:
+//
+//   - Old-style atomics: a variable or struct field whose address is ever
+//     passed to a sync/atomic function (atomic.LoadInt64(&s.f), ...) must
+//     never be read or written plainly anywhere else in the package.
+//   - Typed atomics: a value of a sync/atomic type (atomic.Int64,
+//     atomic.Pointer[T], arrays of them, ...) may only be used through
+//     its methods or by address. Copying one (assignment, argument,
+//     return, range-by-value over an atomic array) smuggles its current
+//     bits out from under the atomicity contract, and overwriting one
+//     (s.f = atomic.Int64{}) is a plain write to atomic memory.
+//   - Publish discipline: a pointer published through
+//     atomic.Pointer.Store/Swap (or atomic.Value.Store) hands the pointee
+//     to concurrent readers with release semantics — every write before
+//     the Store is visible, anything after races. Within a function, a
+//     write through the published pointer after the publishing call is
+//     flagged: complete initialization first, then publish. (Rebinding
+//     the pointer variable to a fresh object re-arms it.)
+//
+// The analysis is conservative and intra-procedural, like the rest of
+// the ssaflow family: taking a typed atomic's address is allowed (the
+// pointee is still only touchable via methods), the publish check is
+// lexical within one body, and fields of types from other packages are
+// their owners' concern. Struct-copy hazards (copying a whole struct
+// that contains atomics) are left to go vet's copylocks.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"pathsep/internal/analyzers/ssaflow"
+)
+
+// Analyzer is the atomicmix pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "atomicmix",
+	Doc:      "forbid mixing sync/atomic and plain access to the same memory, and writes through a pointee after atomic publish",
+	Requires: []*analysis.Analyzer{inspect.Analyzer, ssaflow.Analyzer},
+	Run:      run,
+}
+
+// isAtomicNamed reports whether t is one of sync/atomic's exported types
+// (Int32, Int64, Uint32, Uint64, Uintptr, Bool, Value, Pointer[T]).
+func isAtomicNamed(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// containsAtomic reports whether values of type t hold atomic state
+// inline: an atomic type itself or an array of them.
+func containsAtomic(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if isAtomicNamed(t) {
+		return true
+	}
+	if arr, ok := t.Underlying().(*types.Array); ok {
+		return containsAtomic(arr.Elem())
+	}
+	return false
+}
+
+// storageObj resolves the object whose memory &e addresses: the field
+// object for &x.f, the variable for &v, the array's owner for &a[i].
+func storageObj(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.ObjectOf(x)
+	case *ast.SelectorExpr:
+		return info.ObjectOf(x.Sel)
+	case *ast.IndexExpr:
+		return storageObj(info, x.X)
+	case *ast.StarExpr:
+		return storageObj(info, x.X)
+	}
+	return nil
+}
+
+// atomicFnTarget returns the address-argument of call when call is a
+// sync/atomic package function (LoadInt64, AddUint32, StoreInt64,
+// CompareAndSwapPointer, ...), or nil.
+func atomicFnTarget(info *types.Info, call *ast.CallExpr) ast.Expr {
+	fn := ssaflow.CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return nil
+	}
+	if fn.Type().(*types.Signature).Recv() != nil || len(call.Args) == 0 {
+		return nil
+	}
+	if u, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr); ok && u.Op == token.AND {
+		return u.X
+	}
+	return nil
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	info := pass.TypesInfo
+
+	// Pass 1: objects accessed through old-style sync/atomic functions,
+	// and the exact operand nodes those calls sanction.
+	atomicVars := map[types.Object]token.Pos{}
+	sanctioned := map[ast.Expr]bool{}
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		target := atomicFnTarget(info, call)
+		if target == nil {
+			return
+		}
+		sanctioned[target] = true
+		if obj := storageObj(info, target); obj != nil {
+			if _, seen := atomicVars[obj]; !seen {
+				atomicVars[obj] = call.Pos()
+			}
+		}
+	})
+
+	// Pass 2: plain uses of old-style atomic objects, and plain uses of
+	// typed atomic values.
+	ins.WithStack([]ast.Node{(*ast.Ident)(nil), (*ast.SelectorExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		e := n.(ast.Expr)
+		checkOldStyle(pass, atomicVars, sanctioned, e, stack)
+		checkTyped(pass, e, stack)
+		return true
+	})
+
+	// Pass 3: publish discipline for atomic.Pointer/atomic.Value.
+	res := pass.ResultOf[ssaflow.Analyzer].(*ssaflow.Result)
+	for _, fn := range res.Funcs {
+		checkPublish(pass, fn)
+	}
+	return nil, nil
+}
+
+// checkOldStyle flags a use of an old-style atomic object outside a
+// sync/atomic call.
+func checkOldStyle(pass *analysis.Pass, atomicVars map[types.Object]token.Pos, sanctioned map[ast.Expr]bool, e ast.Expr, stack []ast.Node) {
+	if len(atomicVars) == 0 {
+		return
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if pass.TypesInfo.Defs[id] != nil {
+		return // the declaration site, not an access
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	first, isAtomic := atomicVars[obj]
+	if !isAtomic {
+		return
+	}
+	for _, anc := range stack {
+		if ae, ok := anc.(ast.Expr); ok && sanctioned[ae] {
+			return // inside &x.f handed to a sync/atomic call
+		}
+		if _, ok := anc.(*ast.Field); ok {
+			return // the declaration itself
+		}
+	}
+	// The base of a selector (x in x.f) is not an access to f.
+	if len(stack) >= 2 {
+		if sel, ok := stack[len(stack)-2].(*ast.SelectorExpr); ok && sel.Sel != id {
+			return
+		}
+	}
+	pass.Reportf(e.Pos(), "%s is accessed with sync/atomic at %s; this plain access races with it",
+		obj.Name(), pass.Fset.Position(first))
+}
+
+// checkTyped flags plain (copying or overwriting) uses of typed atomic
+// values. Allowed contexts: method access, address-of, indexing into an
+// atomic array (re-checked one level up), and index-only range.
+func checkTyped(pass *analysis.Pass, e ast.Expr, stack []ast.Node) {
+	info := pass.TypesInfo
+	if id, ok := e.(*ast.Ident); ok {
+		// Selector leaves are handled at the SelectorExpr; definitions and
+		// type names are not uses.
+		if len(stack) >= 2 {
+			if sel, ok := stack[len(stack)-2].(*ast.SelectorExpr); ok && sel.Sel == id {
+				return
+			}
+		}
+		if info.Defs[id] != nil {
+			return
+		}
+	}
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		// Qualified references (atomic.Int64 the type, atomic.AddInt64 the
+		// func) are not value uses.
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if _, isPkg := info.ObjectOf(id).(*types.PkgName); isPkg {
+				return
+			}
+		}
+	}
+	if tv, ok := info.Types[e]; !ok || tv.IsType() || !tv.IsValue() {
+		return
+	}
+	if !containsAtomic(info.TypeOf(e)) {
+		return
+	}
+
+	node := e
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			node = p
+			continue
+		case *ast.IndexExpr:
+			if p.X == node {
+				node = p // a[i] on an atomic array: keep climbing
+				continue
+			}
+		case *ast.SelectorExpr:
+			if p.X == node {
+				return // method (or promoted-field) access: the sanctioned use
+			}
+		case *ast.UnaryExpr:
+			if p.Op == token.AND {
+				return // address-of: the pointee stays behind the methods
+			}
+		case *ast.StarExpr:
+			node = p // deref of *atomic.T, keep climbing toward the method
+			continue
+		case *ast.RangeStmt:
+			if p.X == node && p.Value == nil {
+				return // index-only range over an atomic array
+			}
+		}
+		break
+	}
+	pass.Reportf(e.Pos(), "%s value %s used plainly (copied, overwritten or ranged by value); use its atomic methods or take its address",
+		atomicTypeName(info.TypeOf(e)), types.ExprString(e))
+}
+
+// atomicTypeName renders the atomic type for diagnostics.
+func atomicTypeName(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+// publishCall returns the published pointer argument when call is a
+// Store/Swap method on atomic.Pointer[T] or a Store on atomic.Value.
+func publishCall(info *types.Info, call *ast.CallExpr) ast.Expr {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil
+	}
+	if sel.Sel.Name != "Store" && sel.Sel.Name != "Swap" {
+		return nil
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "sync/atomic" {
+		return nil
+	}
+	if name := n.Obj().Name(); name != "Pointer" && name != "Value" {
+		return nil
+	}
+	return call.Args[0]
+}
+
+// checkPublish flags writes through a pointer after it has been handed
+// to atomic.Pointer.Store/Swap in the same function body. The check is
+// lexical: a Store at position S arms the pointer object; a write
+// through it at position W > S is reported unless the variable was
+// rebound to a fresh value in between.
+func checkPublish(pass *analysis.Pass, fn *ssaflow.Func) {
+	info := pass.TypesInfo
+	type event struct {
+		pos   token.Pos
+		store bool // true: published here; false: rebound here
+	}
+	events := map[types.Object][]event{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if arg := publishCall(info, n); arg != nil {
+				if obj := ssaflow.BaseObject(info, arg); obj != nil && ssaflow.DeclaredWithin(obj, fn.Node) {
+					events[obj] = append(events[obj], event{pos: n.Pos(), store: true})
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					if obj := info.ObjectOf(id); obj != nil {
+						events[obj] = append(events[obj], event{pos: n.Pos(), store: false})
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(events) == 0 {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if _, plain := ast.Unparen(lhs).(*ast.Ident); plain {
+				continue // rebinding the variable, not writing through it
+			}
+			obj := ssaflow.BaseObject(info, lhs)
+			evs := events[obj]
+			if evs == nil {
+				continue
+			}
+			// Flag when the latest publish before this write is not
+			// superseded by a rebind.
+			var lastStore, lastRebind token.Pos
+			for _, ev := range evs {
+				if ev.pos >= as.Pos() {
+					continue
+				}
+				if ev.store {
+					if ev.pos > lastStore {
+						lastStore = ev.pos
+					}
+				} else if ev.pos > lastRebind {
+					lastRebind = ev.pos
+				}
+			}
+			if lastStore != token.NoPos && lastStore > lastRebind {
+				pass.Reportf(lhs.Pos(), "write through %s after it was published via atomic Store/Swap at %s; complete initialization before publishing",
+					obj.Name(), pass.Fset.Position(lastStore))
+			}
+		}
+		return true
+	})
+}

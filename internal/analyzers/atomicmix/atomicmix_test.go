@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"pathsep/internal/analyzers/analyzertest"
+	"pathsep/internal/analyzers/atomicmix"
+)
+
+func TestAtomicMix(t *testing.T) {
+	analyzertest.Run(t, "testdata", atomicmix.Analyzer, "a")
+}

@@ -1,0 +1,103 @@
+package a
+
+import "sync/atomic"
+
+// --- old-style atomics: plain access to a location also touched via
+// sync/atomic functions ---
+
+type counters struct {
+	hits  int64
+	total int64
+}
+
+func oldStyleMixed(c *counters) int64 {
+	atomic.AddInt64(&c.hits, 1)
+	c.hits++    // want `hits is accessed with sync/atomic at .*; this plain access races with it`
+	x := c.hits // want `hits is accessed with sync/atomic at .*`
+	c.total = 1 // total is never touched atomically: fine
+	return x + atomic.LoadInt64(&c.hits)
+}
+
+var gen uint64
+
+func oldStyleVar() uint64 {
+	atomic.AddUint64(&gen, 1)
+	return gen // want `gen is accessed with sync/atomic at .*`
+}
+
+func oldStyleClean(c *counters) int64 {
+	atomic.StoreInt64(&c.hits, 0)
+	return atomic.LoadInt64(&c.hits) // all accesses atomic: fine
+}
+
+// --- typed atomics: values must be used via methods or by address ---
+
+type payload struct {
+	n int
+	m int
+}
+
+type server struct {
+	inflight atomic.Int64
+	img      atomic.Pointer[payload]
+	buckets  [4]atomic.Uint64
+}
+
+func typedGood(s *server) int64 {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	p := &s.inflight // address-of is fine: pointee stays behind methods
+	p.Load()
+	for i := range s.buckets { // index-only range is fine
+		s.buckets[i].Add(1)
+	}
+	return s.inflight.Load()
+}
+
+func typedCopy(s *server) {
+	x := s.inflight // want `atomic.Int64 value s.inflight used plainly`
+	_ = x.Load()
+	s.inflight = atomic.Int64{}   // want `atomic.Int64 value s.inflight used plainly`
+	for _, b := range s.buckets { // want `\[4\]atomic.Uint64 value s.buckets used plainly`
+		_ = b // want `atomic.Uint64 value b used plainly`
+	}
+}
+
+func typedPass(s *server) {
+	eat(s.inflight) // want `atomic.Int64 value s.inflight used plainly`
+}
+
+func eat(v atomic.Int64) { _ = v.Load() }
+
+// --- publish discipline: no writes through the pointee after Store/Swap ---
+
+func publishBad(s *server) {
+	c := &payload{}
+	c.n = 1
+	s.img.Store(c)
+	c.m = 2 // want `write through c after it was published via atomic Store/Swap at .*`
+}
+
+func publishSwapBad(s *server) {
+	c := new(payload)
+	old := s.img.Swap(c)
+	_ = old
+	c.n = 3 // want `write through c after it was published`
+}
+
+func publishGood(s *server) {
+	c := &payload{}
+	c.n = 1
+	c.m = 2
+	s.img.Store(c) // fully initialized before publish: fine
+	old := s.img.Load()
+	_ = old.n // reading the published pointee is fine
+}
+
+func publishRebound(s *server) {
+	c := &payload{}
+	s.img.Store(c)
+	c = &payload{} // fresh object: re-armed
+	c.n = 5        // fine, this one was never published
+	s.img.Store(c)
+}

@@ -1,0 +1,218 @@
+// Package ctxdone forbids fire-and-forget goroutines in the serving
+// plane. internal/serve and internal/obs are the two packages whose
+// goroutines outlive a function call — listener loops, benchmark
+// workers, reload pumps — and a goroutine nothing can join is a
+// goroutine Shutdown cannot drain: tests leak it, graceful restart
+// races it, and the race detector only complains if it happens to
+// touch something. Every `go` statement in those packages must be tied
+// to a shutdown signal:
+//
+//   - a receive from a channel (a <-stop/<-ctx.Done() select arm, or
+//     ranging over a work channel that closes on shutdown) — receives
+//     from time.After/time.Tick don't count, a timer is not a shutdown;
+//   - a call to a context.Context's Done method;
+//   - a *deferred* completion signal: `defer close(ch)` or
+//     `defer wg.Done()` — deferred, so the signal fires even when the
+//     body panics; a trailing `done <- i` send is exactly the shape
+//     that wedges the collector when a worker dies early, and does not
+//     count;
+//   - for `go namedFunc(args...)`, an argument that carries the tie: a
+//     context.Context, a *sync.WaitGroup, or a channel.
+//
+// Truly intentional detachment is opted into, not slipped into: a
+// `//pathsep:detached` comment on the go statement (same line or the
+// line above) suppresses the diagnostic and documents the decision at
+// the launch site. Test files are exempt.
+package ctxdone
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"pathsep/internal/analyzers/ssaflow"
+)
+
+// Directive marks a go statement as intentionally detached.
+const Directive = "//pathsep:detached"
+
+// Analyzer is the ctxdone pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "ctxdone",
+	Doc:      "goroutines in internal/serve and internal/obs must be tied to a shutdown signal (ctx.Done, close channel, or WaitGroup) or carry //pathsep:detached",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// inScope reports whether the package is part of the serving plane.
+func inScope(path string) bool {
+	return strings.Contains(path, "internal/serve") || strings.Contains(path, "internal/obs")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !inScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Lines carrying the detached directive, per file.
+	detached := map[string]map[int]bool{}
+	for _, file := range pass.Files {
+		fname := pass.Fset.Position(file.Pos()).Filename
+		lines := map[int]bool{}
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if strings.Contains(c.Text, Directive) {
+					lines[pass.Fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+		detached[fname] = lines
+	}
+
+	ins.Preorder([]ast.Node{(*ast.GoStmt)(nil)}, func(n ast.Node) {
+		gs := n.(*ast.GoStmt)
+		pos := pass.Fset.Position(gs.Pos())
+		if strings.HasSuffix(pos.Filename, "_test.go") {
+			return
+		}
+		if lines := detached[pos.Filename]; lines[pos.Line] || lines[pos.Line-1] {
+			return
+		}
+		if tied(pass.TypesInfo, gs) {
+			return
+		}
+		pass.Reportf(gs.Pos(), "fire-and-forget goroutine: tie it to a shutdown signal (a channel receive, ctx.Done, defer close, or defer wg.Done) or annotate %s", Directive)
+	})
+	return nil, nil
+}
+
+// tied reports whether the launched goroutine is join-able.
+func tied(info *types.Info, gs *ast.GoStmt) bool {
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		return bodyTied(info, lit.Body)
+	}
+	// go namedFunc(args...): the tie must travel in as an argument.
+	for _, arg := range gs.Call.Args {
+		t := info.TypeOf(arg)
+		if t == nil {
+			continue
+		}
+		if isContext(t) || isWaitGroupPtr(t) || isChan(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// bodyTied scans a goroutine body for a shutdown tie.
+func bodyTied(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			// <-ch: any channel receive except timer channels.
+			if n.Op == token.ARROW && isChan(info.TypeOf(n.X)) && !isTimerChan(info, n.X) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			// for ... range ch: terminates when the channel closes.
+			if isChan(info.TypeOf(n.X)) {
+				found = true
+			}
+		case *ast.CallExpr:
+			// ctx.Done() anywhere (select arms, conditions).
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" && isContext(info.TypeOf(sel.X)) {
+				found = true
+			}
+		case *ast.DeferStmt:
+			if deferSignals(info, n.Call) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// deferSignals reports whether call, run deferred, announces the
+// goroutine's completion: close(ch) or wg.Done().
+func deferSignals(info *types.Info, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if _, isBuiltin := info.Uses[fun].(*types.Builtin); isBuiltin && fun.Name == "close" && len(call.Args) == 1 {
+			return isChan(info.TypeOf(call.Args[0]))
+		}
+	case *ast.SelectorExpr:
+		if fun.Sel.Name == "Done" && isWaitGroup(info.TypeOf(fun.X)) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContext(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func isWaitGroup(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+func isWaitGroupPtr(t types.Type) bool {
+	p, ok := t.Underlying().(*types.Pointer)
+	return ok && isWaitGroup(p.Elem())
+}
+
+func isChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// isTimerChan reports whether e is a call into package time (After,
+// Tick, NewTimer().C is a selector, not a call — selectors of time
+// types are likewise excluded).
+func isTimerChan(info *types.Info, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		fn := ssaflow.CalleeFunc(info, x)
+		return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time"
+	case *ast.SelectorExpr:
+		if t := info.TypeOf(x.X); t != nil {
+			if p, ok := t.Underlying().(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if n, ok := t.(*types.Named); ok && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "time" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package ctxdone_test
+
+import (
+	"testing"
+
+	"pathsep/internal/analyzers/analyzertest"
+	"pathsep/internal/analyzers/ctxdone"
+)
+
+func TestCtxDone(t *testing.T) {
+	analyzertest.Run(t, "testdata", ctxdone.Analyzer, "pathsep/internal/serve")
+}

@@ -1,0 +1,118 @@
+// Package serve impersonates pathsep/internal/serve: ctxdone only
+// fires inside the serving plane.
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+func work()                          {}
+func handle(job int)                 {}
+func pump(ctx context.Context)       {}
+func drainWorker(wg *sync.WaitGroup) {}
+func orphan(n int)                   {}
+
+// fire-and-forget: nothing can join this goroutine.
+func badPlain() {
+	go func() { // want `fire-and-forget goroutine: tie it to a shutdown signal`
+		work()
+	}()
+}
+
+// a trailing send is not a completion signal: if work panics, the
+// collector wedges.
+func badTrailingSend(done chan int, i int) {
+	go func() { // want `fire-and-forget goroutine`
+		work()
+		done <- i
+	}()
+}
+
+// a timer is not a shutdown signal.
+func badTimerOnly() {
+	go func() { // want `fire-and-forget goroutine`
+		for {
+			<-time.After(time.Second)
+			work()
+		}
+	}()
+}
+
+// named function without a joinable argument.
+func badNamed() {
+	go orphan(3) // want `fire-and-forget goroutine`
+}
+
+// explicit opt-out, same line.
+func detachedSameLine() {
+	go func() { work() }() //pathsep:detached — deliberate: process-lifetime pump
+}
+
+// explicit opt-out, line above.
+func detachedLineAbove() {
+	//pathsep:detached — deliberate: process-lifetime pump
+	go func() {
+		work()
+	}()
+}
+
+// tied via a stop-channel receive.
+func goodStopChan(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// tied via ctx.Done.
+func goodCtxDone(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+		work()
+	}()
+}
+
+// tied via deferred close of a done channel.
+func goodDeferClose() <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	return done
+}
+
+// tied via deferred WaitGroup.Done.
+func goodWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// tied by ranging over a work channel that closes on shutdown.
+func goodRangeChan(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			handle(j)
+		}
+	}()
+}
+
+// named functions carrying the tie as an argument.
+func goodNamed(ctx context.Context, wg *sync.WaitGroup, jobs chan int) {
+	go pump(ctx)
+	go drainWorker(wg)
+	go namedChan(jobs)
+}
+
+func namedChan(jobs chan int) {}

@@ -1,0 +1,644 @@
+// Package poolleak enforces the repo's sync.Pool discipline: a buffer
+// taken from a pool must go back. The serving hot path (internal/serve's
+// pair/dist/byte pools) recycles request buffers on every batch; one
+// early-return that skips the Put doesn't crash anything — it just
+// quietly converts the pool into a per-request allocator, which is
+// exactly the regression the 0-alloc gates exist to prevent, and one
+// Put too early hands the same backing array to two concurrent
+// requests.
+//
+// The pass runs a path-sensitive walk over each function body (on the
+// ssaflow function index):
+//
+//   - Sources: a direct `pool.Get()` call, or a call to a *getter
+//     wrapper* — a function in this package that itself calls Get and
+//     returns a value (serve's getPairs/getDists/getBytes shape). The
+//     assigned variable becomes an open buffer tied to that pool.
+//   - Sinks: a direct `pool.Put(v)` or a call to a *putter wrapper* (a
+//     function passing its parameter to Put). A deferred Put closes the
+//     buffer on every path out, including panics, and permits later
+//     uses (defers run last). A plain Put closes it from that point on:
+//     any later mention of the buffer is a use-after-Put — the pool may
+//     already have handed it to another goroutine.
+//   - Ownership transfer: returning the buffer, storing it into a
+//     field/slice/map, sending it on a channel, or capturing it in a
+//     goroutine/function literal moves the obligation elsewhere; the
+//     walk stops tracking it. Passing it as a plain call argument does
+//     not (the caller of Get still owns it).
+//   - Aliasing: rebinding through a self-slice (v = v[:n]) or
+//     self-append keeps the buffer; rebinding to a different backing
+//     array (v = make(...), v = append(w, v...), v = w[i:j]) and then
+//     Putting it poisons the pool with a foreign array and is flagged,
+//     as is a Put to a different pool than the one Get came from.
+//
+// Branches merge conservatively: a buffer is open after a branch if any
+// surviving path left it open, and counts as Put only if every
+// surviving path Put it. Terminating paths (return, panic) are checked
+// at their exit. Getter/putter wrappers themselves are exempt from the
+// walk — dropping a too-small buffer on the floor inside a getter is
+// the intended resize policy, not a leak. Test files are skipped.
+package poolleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"pathsep/internal/analyzers/ssaflow"
+)
+
+// Analyzer is the poolleak pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "poolleak",
+	Doc:      "every sync.Pool Get must reach a Put on all paths, with no use after Put and no foreign or cross-pool Put",
+	Requires: []*analysis.Analyzer{inspect.Analyzer, ssaflow.Analyzer},
+	Run:      run,
+}
+
+// poolObj resolves the pool identity of the receiver expression in
+// pool.Get()/pool.Put(): the field object for s.pairBufs, the variable
+// for a package-level pool.
+func poolObj(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.ObjectOf(x)
+	case *ast.SelectorExpr:
+		return info.ObjectOf(x.Sel)
+	case *ast.IndexExpr:
+		return poolObj(info, x.X)
+	case *ast.StarExpr:
+		return poolObj(info, x.X)
+	}
+	return nil
+}
+
+// poolCall matches a direct sync.Pool method call, returning the pool
+// identity and the method name ("Get" or "Put").
+func poolCall(info *types.Info, call *ast.CallExpr) (types.Object, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	name := sel.Sel.Name
+	if name != "Get" && name != "Put" {
+		return nil, ""
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return nil, ""
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "sync" || n.Obj().Name() != "Pool" {
+		return nil, ""
+	}
+	return poolObj(info, sel.X), name
+}
+
+// wrappers is the package's getter/putter classification.
+type wrappers struct {
+	getters map[*types.Func]types.Object // wrapper -> pool it Gets from
+	putters map[*types.Func]putter       // wrapper -> pool + which param it Puts
+	exempt  map[ast.Node]bool            // wrapper bodies, skipped by the walk
+}
+
+type putter struct {
+	pool types.Object
+	arg  int
+}
+
+// classify finds the package's pool wrappers: a getter calls Get and
+// returns a value; a putter passes one of its parameters (possibly by
+// address) to Put.
+func classify(pass *analysis.Pass) *wrappers {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	info := pass.TypesInfo
+	w := &wrappers{
+		getters: map[*types.Func]types.Object{},
+		putters: map[*types.Func]putter{},
+		exempt:  map[ast.Node]bool{},
+	}
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil {
+			return
+		}
+		fn, ok := info.Defs[fd.Name].(*types.Func)
+		if !ok {
+			return
+		}
+		params := fn.Type().(*types.Signature).Params()
+		ast.Inspect(fd.Body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pool, method := poolCall(info, call)
+			if pool == nil {
+				return true
+			}
+			switch method {
+			case "Get":
+				if fn.Type().(*types.Signature).Results().Len() > 0 {
+					w.getters[fn] = pool
+					w.exempt[fd] = true
+				}
+			case "Put":
+				if len(call.Args) != 1 {
+					return true
+				}
+				arg := ast.Unparen(call.Args[0])
+				if u, ok := arg.(*ast.UnaryExpr); ok && u.Op == token.AND {
+					arg = ast.Unparen(u.X)
+				}
+				obj := ssaflow.BaseObject(info, arg)
+				for i := 0; i < params.Len(); i++ {
+					if params.At(i) == obj {
+						w.putters[fn] = putter{pool: pool, arg: i}
+						w.exempt[fd] = true
+					}
+				}
+			}
+			return true
+		})
+	})
+	return w
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	wr := classify(pass)
+	res := pass.ResultOf[ssaflow.Analyzer].(*ssaflow.Result)
+	for _, fn := range res.Funcs {
+		if wr.exempt[fn.Node] {
+			continue
+		}
+		file := pass.Fset.Position(fn.Node.Pos()).Filename
+		if strings.HasSuffix(file, "_test.go") {
+			continue
+		}
+		w := &walker{pass: pass, wr: wr, fn: fn}
+		st := &state{open: map[types.Object]*got{}, done: map[types.Object]token.Pos{}}
+		w.stmts(st, fn.Body.List)
+		if !st.dead {
+			w.leaks(st, fn.Body.End(), "falls off the end of "+fn.Name)
+		}
+	}
+	return nil, nil
+}
+
+// got is one open buffer: where it was opened, which pool owns it, and
+// whether a rebind replaced its backing array since.
+type got struct {
+	pos     token.Pos
+	pool    types.Object
+	foreign token.Pos // position of the backing-array-replacing rebind
+}
+
+// state is the abstract store along one path.
+type state struct {
+	open map[types.Object]*got
+	done map[types.Object]token.Pos
+	dead bool
+}
+
+func (st *state) clone() *state {
+	c := &state{
+		open: make(map[types.Object]*got, len(st.open)),
+		done: make(map[types.Object]token.Pos, len(st.done)),
+		dead: st.dead,
+	}
+	for k, v := range st.open {
+		cp := *v
+		c.open[k] = &cp
+	}
+	for k, v := range st.done {
+		c.done[k] = v
+	}
+	return c
+}
+
+// merge folds branch outcomes back into st: open if open on any
+// surviving path, done only if done on every surviving path.
+func (st *state) merge(branches []*state) {
+	live := branches[:0]
+	for _, b := range branches {
+		if !b.dead {
+			live = append(live, b)
+		}
+	}
+	if len(live) == 0 {
+		st.dead = true
+		return
+	}
+	open := map[types.Object]*got{}
+	for _, b := range live {
+		for k, v := range b.open {
+			if _, ok := open[k]; !ok {
+				open[k] = v
+			}
+		}
+	}
+	done := map[types.Object]token.Pos{}
+	for k, v := range live[0].done {
+		onAll := true
+		for _, b := range live[1:] {
+			if _, ok := b.done[k]; !ok {
+				onAll = false
+				break
+			}
+		}
+		if onAll {
+			done[k] = v
+		}
+	}
+	// A buffer put on some paths but still open on another stays open:
+	// the remaining path still owes the Put.
+	for k := range open {
+		delete(done, k)
+	}
+	st.open, st.done = open, done
+}
+
+// walker interprets one function body.
+type walker struct {
+	pass *analysis.Pass
+	wr   *wrappers
+	fn   *ssaflow.Func
+}
+
+func (w *walker) info() *types.Info { return w.pass.TypesInfo }
+
+func (w *walker) leaks(st *state, pos token.Pos, how string) {
+	for obj, g := range st.open {
+		w.pass.Reportf(pos, "pool buffer %s (Get from %s at %s) leaks: control %s without a Put",
+			obj.Name(), g.pool.Name(), w.pass.Fset.Position(g.pos), how)
+	}
+	st.open = map[types.Object]*got{}
+}
+
+func (w *walker) stmts(st *state, list []ast.Stmt) {
+	for _, s := range list {
+		if st.dead {
+			return
+		}
+		w.stmt(st, s)
+	}
+}
+
+// useCheck reports mentions of already-Put buffers inside e and scrubs
+// them to avoid cascades. skip, when non-nil, is an expression whose
+// own mention does not count (the Put argument itself).
+func (w *walker) useCheck(st *state, e ast.Expr, skip ast.Expr) {
+	if e == nil || len(st.done) == 0 {
+		return
+	}
+	for obj, putPos := range st.done {
+		if skip != nil && ssaflow.BaseObject(w.info(), skip) == obj {
+			continue
+		}
+		if ssaflow.Mentions(w.info(), e, func(o types.Object) bool { return o == obj }) {
+			w.pass.Reportf(e.Pos(), "pool buffer %s used after Put at %s; the pool may have handed it to another goroutine",
+				obj.Name(), w.pass.Fset.Position(putPos))
+			delete(st.done, obj)
+		}
+	}
+}
+
+// escapes removes from open every buffer mentioned by e: ownership has
+// moved into a structure, channel, or closure the walk can't follow.
+func (w *walker) escapes(st *state, e ast.Expr) {
+	if e == nil || len(st.open) == 0 {
+		return
+	}
+	for obj := range st.open {
+		if ssaflow.Mentions(w.info(), e, func(o types.Object) bool { return o == obj }) {
+			delete(st.open, obj)
+		}
+	}
+}
+
+// getterCall matches a Get source: a direct pool.Get() (possibly behind
+// a type assertion) or a getter-wrapper call. Returns the pool.
+func (w *walker) getterCall(e ast.Expr) (types.Object, bool) {
+	e = ast.Unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	if pool, method := poolCall(w.info(), call); method == "Get" {
+		return pool, true
+	}
+	if fn := ssaflow.CalleeFunc(w.info(), call); fn != nil {
+		if pool, ok := w.wr.getters[fn]; ok {
+			return pool, true
+		}
+	}
+	return nil, false
+}
+
+// putterCall matches a Put sink: a direct pool.Put(v) (possibly &v) or
+// a putter-wrapper call. Returns the pool and the buffer expression.
+func (w *walker) putterCall(call *ast.CallExpr) (types.Object, ast.Expr, bool) {
+	if pool, method := poolCall(w.info(), call); method == "Put" && len(call.Args) == 1 {
+		arg := ast.Unparen(call.Args[0])
+		if u, ok := arg.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			arg = ast.Unparen(u.X)
+		}
+		return pool, arg, true
+	}
+	if fn := ssaflow.CalleeFunc(w.info(), call); fn != nil {
+		if p, ok := w.wr.putters[fn]; ok && p.arg < len(call.Args) {
+			return p.pool, ast.Unparen(call.Args[p.arg]), true
+		}
+	}
+	return nil, nil, false
+}
+
+// put closes the buffer named by arg against pool.
+func (w *walker) put(st *state, pool types.Object, arg ast.Expr, deferred bool, pos token.Pos) {
+	obj := ssaflow.BaseObject(w.info(), arg)
+	if obj == nil {
+		return
+	}
+	g, ok := st.open[obj]
+	if !ok {
+		return // unknown origin (parameter, fresh buffer seeding the pool)
+	}
+	if g.pool != pool {
+		w.pass.Reportf(pos, "pool buffer %s from %s is Put into %s; buffers must return to their own pool",
+			obj.Name(), g.pool.Name(), pool.Name())
+	}
+	if g.foreign != token.NoPos {
+		w.pass.Reportf(pos, "pool buffer %s was rebound to a different backing array at %s; Putting the alias poisons %s",
+			obj.Name(), w.pass.Fset.Position(g.foreign), pool.Name())
+	}
+	delete(st.open, obj)
+	if !deferred {
+		// A deferred Put runs after every later use; a plain Put makes
+		// later mentions races.
+		st.done[obj] = pos
+	}
+}
+
+// foreignRebind reports whether rhs rebinds obj to a (possibly)
+// different backing array: slicing or appending another object, or any
+// other aliasing shape that isn't v = v[...], v = append(v, ...).
+func (w *walker) foreignRebind(obj types.Object, rhs ast.Expr) bool {
+	switch r := ast.Unparen(rhs).(type) {
+	case *ast.SliceExpr:
+		return ssaflow.BaseObject(w.info(), r.X) != obj
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(r.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := w.info().Uses[id].(*types.Builtin); isBuiltin && id.Name == "append" && len(r.Args) > 0 {
+				return ssaflow.BaseObject(w.info(), r.Args[0]) != obj
+			}
+		}
+	}
+	return false
+}
+
+// assign interprets one assignment (or value-decl binding).
+func (w *walker) assign(st *state, lhs, rhs ast.Expr, pos token.Pos) {
+	info := w.info()
+	w.useCheck(st, rhs, nil)
+
+	id, isIdent := ast.Unparen(lhs).(*ast.Ident)
+	if !isIdent {
+		// Storing into a field, slot, or map transfers ownership of any
+		// open buffer the RHS mentions.
+		w.useCheck(st, lhs, nil)
+		w.escapes(st, rhs)
+		return
+	}
+	obj := info.ObjectOf(id)
+	if obj == nil {
+		return
+	}
+
+	pool, isGet := (types.Object)(nil), false
+	if rhs != nil {
+		pool, isGet = w.getterCall(rhs)
+	}
+
+	if g, open := st.open[obj]; open {
+		switch {
+		case rhs == nil || !ssaflow.Mentions(info, rhs, func(o types.Object) bool { return o == obj }):
+			// Rebound to something unrelated: the old buffer is gone.
+			w.pass.Reportf(pos, "pool buffer %s (Get from %s at %s) is overwritten without a Put",
+				obj.Name(), g.pool.Name(), w.pass.Fset.Position(g.pos))
+			delete(st.open, obj)
+		case w.foreignRebind(obj, rhs):
+			g.foreign = pos
+		}
+	}
+	delete(st.done, obj) // rebinding after Put starts a fresh value
+
+	if isGet {
+		st.open[obj] = &got{pos: pos, pool: pool}
+	}
+	// v = f(..., v, ...) (the QueryBatchWorkers dst convention) and
+	// v = v[:n] keep v open via the Mentions branch above; only Get
+	// results are ever tracked, so other rebinds need no bookkeeping.
+}
+
+// call interprets a call in statement position.
+func (w *walker) call(st *state, call *ast.CallExpr, deferred bool) {
+	if pool, arg, ok := w.putterCall(call); ok {
+		w.useCheck(st, call, arg)
+		w.put(st, pool, arg, deferred, call.Pos())
+		return
+	}
+	w.useCheck(st, call, nil)
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		if _, isBuiltin := w.info().Uses[id].(*types.Builtin); isBuiltin {
+			// Open buffers at a panic leak unless a deferred Put covers
+			// them — and deferred Puts already removed themselves.
+			w.leaks(st, call.Pos(), "panics")
+			st.dead = true
+			return
+		}
+	}
+	// Closures receiving the buffer take the obligation with them.
+	for _, arg := range call.Args {
+		if _, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+			w.escapes(st, arg)
+		}
+	}
+}
+
+// exprEvents walks non-statement expressions for use-after-Put and
+// closure captures.
+func (w *walker) exprEvents(st *state, e ast.Expr) {
+	if e == nil {
+		return
+	}
+	w.useCheck(st, e, nil)
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			w.escapes(st, lit)
+			return false
+		}
+		return true
+	})
+}
+
+func (w *walker) stmt(st *state, s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			ast.Inspect(r, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					w.escapes(st, lit)
+					return false
+				}
+				return true
+			})
+		}
+		if len(s.Lhs) == len(s.Rhs) {
+			for i := range s.Lhs {
+				w.assign(st, s.Lhs[i], s.Rhs[i], s.Pos())
+			}
+		} else if len(s.Rhs) == 1 {
+			for _, lhs := range s.Lhs {
+				w.assign(st, lhs, s.Rhs[0], s.Pos())
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for i, name := range vs.Names {
+						var rhs ast.Expr
+						if i < len(vs.Values) {
+							rhs = vs.Values[i]
+						} else if len(vs.Values) == 1 {
+							rhs = vs.Values[0]
+						}
+						w.assign(st, name, rhs, s.Pos())
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			w.call(st, call, false)
+		} else {
+			w.exprEvents(st, s.X)
+		}
+	case *ast.DeferStmt:
+		w.call(st, s.Call, true)
+	case *ast.GoStmt:
+		w.useCheck(st, s.Call, nil)
+		w.escapes(st, s.Call)
+	case *ast.SendStmt:
+		w.useCheck(st, s.Value, nil)
+		w.escapes(st, s.Value)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.useCheck(st, r, nil)
+			w.escapes(st, r)
+		}
+		w.leaks(st, s.Pos(), "returns")
+		st.dead = true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(st, s.Init)
+		}
+		w.exprEvents(st, s.Cond)
+		then := st.clone()
+		w.stmts(then, s.Body.List)
+		els := st.clone()
+		if s.Else != nil {
+			w.stmt(els, s.Else)
+		}
+		st.merge([]*state{then, els})
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(st, s.Init)
+		}
+		if s.Cond != nil {
+			w.exprEvents(st, s.Cond)
+		}
+		body := st.clone()
+		w.stmts(body, s.Body.List)
+		if s.Post != nil && !body.dead {
+			w.stmt(body, s.Post)
+		}
+		body.dead = false // breaking out rejoins the fall-through path
+		st.merge([]*state{st.clone(), body})
+	case *ast.RangeStmt:
+		w.exprEvents(st, s.X)
+		body := st.clone()
+		w.stmts(body, s.Body.List)
+		body.dead = false
+		st.merge([]*state{st.clone(), body})
+	case *ast.BlockStmt:
+		w.stmts(st, s.List)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var init ast.Stmt
+		var body *ast.BlockStmt
+		if sw, ok := s.(*ast.SwitchStmt); ok {
+			init, body = sw.Init, sw.Body
+			if sw.Tag != nil {
+				w.exprEvents(st, sw.Tag)
+			}
+		} else {
+			ts := s.(*ast.TypeSwitchStmt)
+			init, body = ts.Init, ts.Body
+		}
+		if init != nil {
+			w.stmt(st, init)
+		}
+		var branches []*state
+		hasDefault := false
+		for _, c := range body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				if cc.List == nil {
+					hasDefault = true
+				}
+				b := st.clone()
+				w.stmts(b, cc.Body)
+				branches = append(branches, b)
+			}
+		}
+		if !hasDefault {
+			branches = append(branches, st.clone())
+		}
+		if len(branches) > 0 {
+			st.merge(branches)
+		}
+	case *ast.SelectStmt:
+		var branches []*state
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				b := st.clone()
+				if cc.Comm != nil {
+					w.stmt(b, cc.Comm)
+				}
+				w.stmts(b, cc.Body)
+				branches = append(branches, b)
+			}
+		}
+		if len(branches) > 0 {
+			st.merge(branches)
+		}
+	case *ast.LabeledStmt:
+		w.stmt(st, s.Stmt)
+	case *ast.IncDecStmt:
+		w.exprEvents(st, s.X)
+	case *ast.BranchStmt:
+		// break/continue/goto end this path as far as the straight-line
+		// walk can see; open buffers rejoin via the loop merge.
+		st.dead = true
+	}
+}

@@ -1,0 +1,12 @@
+package poolleak_test
+
+import (
+	"testing"
+
+	"pathsep/internal/analyzers/analyzertest"
+	"pathsep/internal/analyzers/poolleak"
+)
+
+func TestPoolLeak(t *testing.T) {
+	analyzertest.Run(t, "testdata", poolleak.Analyzer, "a")
+}

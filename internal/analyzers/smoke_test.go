@@ -12,8 +12,8 @@ import (
 // TestAll checks the suite is stable: non-empty, unique names, docs set.
 func TestAll(t *testing.T) {
 	all := analyzers.All()
-	if len(all) < 9 {
-		t.Fatalf("All() returned %d analyzers, want at least 9", len(all))
+	if len(all) < 12 {
+		t.Fatalf("All() returned %d analyzers, want at least 12", len(all))
 	}
 	seen := map[string]bool{}
 	for _, a := range all {
@@ -24,6 +24,22 @@ func TestAll(t *testing.T) {
 			t.Errorf("duplicate analyzer name %q", a.Name)
 		}
 		seen[a.Name] = true
+	}
+}
+
+// TestTestdataDrift asserts every analyzer in All() ships want-coverage:
+// a testdata/src tree next to its source. A new analyzer registered
+// without testdata silently runs untested; this is the drift check CI's
+// analyzer-testdata step leans on.
+func TestTestdataDrift(t *testing.T) {
+	// ssaflow is infrastructure (reports nothing), so it carries no
+	// testdata; everything in All() must.
+	for _, a := range analyzers.All() {
+		dir := filepath.Join(a.Name, "testdata", "src")
+		fi, err := os.Stat(dir)
+		if err != nil || !fi.IsDir() {
+			t.Errorf("analyzer %q has no want-coverage: %s missing", a.Name, dir)
+		}
 	}
 }
 

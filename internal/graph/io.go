@@ -39,6 +39,7 @@ func Read(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<24)
 	var b *Builder
+	declared := 0
 	line := 0
 	for sc.Scan() {
 		line++
@@ -63,6 +64,7 @@ func Read(r io.Reader) (*Graph, error) {
 				return nil, fmt.Errorf("graph: line %d: negative vertex count %d", line, n)
 			}
 			b = NewBuilder(n)
+			declared = n
 		case "e":
 			if b == nil {
 				return nil, fmt.Errorf("graph: line %d: edge before header", line)
@@ -78,6 +80,13 @@ func Read(r io.Reader) (*Graph, error) {
 			}
 			if u < 0 || v < 0 {
 				return nil, fmt.Errorf("graph: line %d: negative endpoint in %q", line, text)
+			}
+			// The header's count is a promise, not a hint: an endpoint
+			// beyond it is corrupt input, and letting it through would size
+			// the graph by the rogue ID (arbitrary allocation from a
+			// three-line file).
+			if u >= declared || v >= declared {
+				return nil, fmt.Errorf("graph: line %d: endpoint beyond the declared %d vertices in %q", line, declared, text)
 			}
 			b.AddEdge(u, v, wt)
 		default:

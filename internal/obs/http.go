@@ -101,23 +101,29 @@ func Publish(r *Registry) error {
 // bound — a bad address fails here, not asynchronously — and the caller
 // owns the returned server's lifetime:
 //
-//	srv, err := obs.Serve("localhost:6060", reg)
+//	srv, done, err := obs.Serve("localhost:6060", reg)
 //	...
 //	srv.Shutdown(ctx) // graceful: in-flight scrapes complete
+//	<-done            // the serve goroutine has exited
 //
-// srv.Addr carries the bound address (useful with ":0").
-func Serve(addr string, r *Registry) (*http.Server, error) {
+// The done channel closes when the serve goroutine exits (after
+// Shutdown/Close, or if the listener dies), so the goroutine is
+// join-able rather than fire-and-forget. srv.Addr carries the bound
+// address (useful with ":0").
+func Serve(addr string, r *Registry) (*http.Server, <-chan struct{}, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+		return nil, nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	mux := http.NewServeMux()
 	RegisterDebug(mux, r)
 	srv := &http.Server{Addr: ln.Addr().String(), Handler: mux}
+	done := make(chan struct{})
 	go func() {
 		// Serve returns http.ErrServerClosed on Shutdown/Close; any other
 		// error means the listener died, which Shutdown will also surface.
+		defer close(done)
 		_ = srv.Serve(ln)
 	}()
-	return srv, nil
+	return srv, done, nil
 }

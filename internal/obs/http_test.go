@@ -16,7 +16,7 @@ import (
 func TestServeLifecycle(t *testing.T) {
 	r := New()
 	r.Counter("oracle.queries").Add(5)
-	srv, err := Serve("127.0.0.1:0", r)
+	srv, done, err := Serve("127.0.0.1:0", r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,6 +69,12 @@ func TestServeLifecycle(t *testing.T) {
 	if err := srv.Shutdown(ctx); err != nil {
 		t.Fatalf("Shutdown: %v", err)
 	}
+	select {
+	case <-done:
+		// serve goroutine joined
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve goroutine did not exit after Shutdown")
+	}
 	if _, err := http.Get(base + "/metrics"); err == nil {
 		t.Fatal("server still answering after Shutdown")
 	}
@@ -76,7 +82,7 @@ func TestServeLifecycle(t *testing.T) {
 
 // TestServeBadAddr asserts bind failures surface synchronously.
 func TestServeBadAddr(t *testing.T) {
-	if _, err := Serve("256.256.256.256:0", New()); err == nil {
+	if _, _, err := Serve("256.256.256.256:0", New()); err == nil {
 		t.Fatal("want a bind error for an unusable address")
 	}
 }

@@ -12,9 +12,13 @@ import (
 	"pathsep/internal/obs"
 )
 
-// ImageStatus describes the loaded flat oracle image.
+// ImageStatus describes the currently serving flat oracle image.
 type ImageStatus struct {
 	Source     string  `json:"source,omitempty"`
+	Generation uint64  `json:"generation"`
+	LoadedAt   string  `json:"loaded_at"`
+	LoadNs     int64   `json:"load_ns"`
+	Readers    int64   `json:"readers"`
 	N          int     `json:"n"`
 	Eps        float64 `json:"eps"`
 	Mode       string  `json:"mode"`
@@ -31,6 +35,8 @@ type ServingStatus struct {
 	Batches      int64 `json:"batches"`
 	BatchPairs   int64 `json:"batch_pairs"`
 	Errors       int64 `json:"errors"`
+	Reloads      int64 `json:"reloads"`
+	ReloadErrors int64 `json:"reload_errors"`
 	BatchWorkers int   `json:"batch_workers"`
 	MaxBatch     int   `json:"max_batch"`
 }
@@ -61,8 +67,11 @@ type Status struct {
 	Metrics     obs.Snapshot  `json:"metrics"`
 }
 
-// status assembles the current Status document.
+// status assembles the current Status document. Image metadata is read
+// off the current image without a lease: images are immutable after
+// publish, and status does not need to pin the generation it reports.
 func (s *Server) status() Status {
+	im := s.img.Load()
 	st := Status{
 		Service:    "pathsepd",
 		PID:        os.Getpid(),
@@ -71,14 +80,18 @@ func (s *Server) status() Status {
 		Goroutines: runtime.NumGoroutine(),
 		UptimeSec:  time.Since(s.started).Seconds(),
 		Image: ImageStatus{
-			Source:     s.source,
-			N:          s.flat.N(),
-			Eps:        s.flat.Eps(),
-			Mode:       s.flat.Mode().String(),
-			NumKeys:    s.flat.NumKeys(),
-			NumEntries: s.flat.NumEntries(),
-			NumPortals: s.flat.NumPortals(),
-			Bytes:      s.flat.EncodedSize(),
+			Source:     im.source,
+			Generation: im.gen,
+			LoadedAt:   im.loadedAt.UTC().Format(time.RFC3339Nano),
+			LoadNs:     im.loadNs,
+			Readers:    im.readers.Load(),
+			N:          im.flat.N(),
+			Eps:        im.flat.Eps(),
+			Mode:       im.flat.Mode().String(),
+			NumKeys:    im.flat.NumKeys(),
+			NumEntries: im.flat.NumEntries(),
+			NumPortals: im.flat.NumPortals(),
+			Bytes:      im.bytes,
 		},
 		Serving: ServingStatus{
 			Inflight:     s.inflight.Load(),
@@ -86,6 +99,8 @@ func (s *Server) status() Status {
 			Batches:      s.batches.Value(),
 			BatchPairs:   s.pairs.Value(),
 			Errors:       s.errs.Value(),
+			Reloads:      s.reloads.Value(),
+			ReloadErrors: s.reloadErrs.Value(),
 			BatchWorkers: s.workers,
 			MaxBatch:     s.maxBatch,
 		},

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -34,6 +35,14 @@ type BenchResult struct {
 	BatchQPS      float64 `json:"batch_qps"`
 
 	Errors int64 `json:"errors"`
+
+	// Reload fields are populated by LoadBenchReload: image swaps fired
+	// mid-load, with the observed load+flip+drain latency distribution.
+	Reloads      int64 `json:"reloads,omitempty"`
+	ReloadErrors int64 `json:"reload_errors,omitempty"`
+	ReloadP50Ns  int64 `json:"reload_p50_ns,omitempty"`
+	ReloadP99Ns  int64 `json:"reload_p99_ns,omitempty"`
+	ReloadMaxNs  int64 `json:"reload_max_ns,omitempty"`
 }
 
 // percentile reads the q-quantile (0 <= q <= 1) of sorted latencies.
@@ -72,11 +81,15 @@ func LoadBench(baseURL string, n int, d time.Duration, conc, batch int, seed int
 		errs int64
 	}
 	outs := make([]workerOut, conc)
-	done := make(chan int, conc)
+	var wg sync.WaitGroup
 	startSingle := time.Now()
 	deadline := startSingle.Add(half)
 	for w := 0; w < conc; w++ {
+		wg.Add(1)
 		go func(w int) {
+			// Deferred, not a trailing send: a worker that dies early still
+			// releases the join instead of wedging the collector.
+			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed + int64(w)))
 			var o workerOut
 			for time.Now().Before(deadline) {
@@ -96,12 +109,9 @@ func LoadBench(baseURL string, n int, d time.Duration, conc, batch int, seed int
 				o.lat = append(o.lat, time.Since(t0).Nanoseconds())
 			}
 			outs[w] = o
-			done <- w
 		}(w)
 	}
-	for w := 0; w < conc; w++ {
-		<-done
-	}
+	wg.Wait()
 	singleElapsed := time.Since(startSingle) // >= half by construction
 	var lat []int64
 	for _, o := range outs {
@@ -150,6 +160,75 @@ func LoadBench(baseURL string, n int, d time.Duration, conc, batch int, seed int
 	client.CloseIdleConnections()
 	if res.Requests == 0 && res.BatchRequests == 0 {
 		return res, fmt.Errorf("serve: bench completed zero requests against %s (%d errors)", baseURL, res.Errors)
+	}
+	return res, nil
+}
+
+// LoadBenchReload is LoadBench with image swaps fired mid-load: a
+// reloader posts image to /admin/reload `reloads` times, spread across
+// the run, while the query clients hammer the server. The result gains
+// the reload latency distribution (decode + pointer flip + old-reader
+// drain, as measured from the client), so BENCH_serve.json records what
+// a zero-downtime reindex costs under traffic. With reloads < 1 or an
+// empty image it degrades to plain LoadBench.
+func LoadBenchReload(baseURL string, n int, d time.Duration, conc, batch int, seed int64, image []byte, reloads int) (BenchResult, error) {
+	if reloads < 1 || len(image) == 0 {
+		return LoadBench(baseURL, n, d, conc, batch, seed)
+	}
+	interval := d / time.Duration(reloads+1)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	client := &http.Client{}
+	stop := make(chan struct{})
+	var rwg sync.WaitGroup
+	var rlat []int64
+	var rerrs int64
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for i := 0; i < reloads; i++ {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+			}
+			t0 := time.Now()
+			resp, err := client.Post(baseURL+"/admin/reload", "application/octet-stream", bytes.NewReader(image))
+			if err != nil {
+				rerrs++
+				continue
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				rerrs++
+				continue
+			}
+			rlat = append(rlat, time.Since(t0).Nanoseconds())
+		}
+	}()
+
+	res, err := LoadBench(baseURL, n, d, conc, batch, seed)
+
+	close(stop)
+	rwg.Wait() // rlat/rerrs are safely visible after the join
+	client.CloseIdleConnections()
+	sort.Slice(rlat, func(i, j int) bool { return rlat[i] < rlat[j] })
+	res.Reloads = int64(len(rlat))
+	res.ReloadErrors = rerrs
+	res.ReloadP50Ns = percentile(rlat, 0.50)
+	res.ReloadP99Ns = percentile(rlat, 0.99)
+	if len(rlat) > 0 {
+		res.ReloadMaxNs = rlat[len(rlat)-1]
+	}
+	if err != nil {
+		return res, err
+	}
+	if rerrs > 0 {
+		return res, fmt.Errorf("serve: %d of %d reloads failed against %s", rerrs, reloads, baseURL)
 	}
 	return res, nil
 }

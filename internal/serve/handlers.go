@@ -40,9 +40,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "u and v must be integer vertex IDs")
 		return
 	}
+	im := s.acquire()
 	start := time.Now()
-	d := s.flat.Query(u, v)
+	d := im.flat.Query(u, v)
 	ns := time.Since(start).Nanoseconds()
+	s.release(im)
 	s.queries.Inc()
 
 	var buf bytes.Buffer
@@ -94,7 +96,11 @@ func (s *Server) handleBatchJSON(w http.ResponseWriter, r *http.Request) {
 		pairs[i] = oracle.Pair{U: p[0], V: p[1]}
 	}
 	dists := s.getDists(len(pairs))
-	dists = s.flat.QueryBatchWorkers(pairs, dists, s.workers)
+	// One lease for the whole batch: every distance in this response
+	// comes from a single image generation, even mid-reload.
+	im := s.acquire()
+	dists = im.flat.QueryBatchWorkers(pairs, dists, s.workers)
+	s.release(im)
 	s.batches.Inc()
 	s.pairs.Add(int64(len(pairs)))
 
@@ -142,7 +148,10 @@ func (s *Server) handleBatchBin(w http.ResponseWriter, r *http.Request) {
 	pairs := s.getPairs(n)
 	decodePairs(pairs, body)
 	dists := s.getDists(n)
-	dists = s.flat.QueryBatchWorkers(pairs, dists, s.workers)
+	// One lease for the whole batch (see handleBatchJSON).
+	im := s.acquire()
+	dists = im.flat.QueryBatchWorkers(pairs, dists, s.workers)
+	s.release(im)
 	out := s.getBytes(8 * n)
 	encodeDists(out, dists)
 	s.batches.Inc()

@@ -49,32 +49,49 @@ type Config struct {
 	Workers int
 	// MaxBatch caps pairs per batch request (0 = DefaultMaxBatch).
 	MaxBatch int
+	// MaxImage caps the bytes POST /admin/reload accepts
+	// (0 = DefaultMaxImage).
+	MaxImage int
 	// Source describes where the image came from ("file:oracle.flat",
 	// "built:grid64"), echoed by /admin/status.
 	Source string
 }
 
-// Server serves one flat oracle image. Create with New, start with Start
-// (or mount Handler on your own server), stop with Shutdown.
+// Server serves a flat oracle image — the *current* one: the image
+// lives behind an atomic pointer so POST /admin/reload (or SIGHUP on
+// cmd/pathsepd) can swap in a new generation while in-flight requests
+// finish on the old one. Create with New, start with Start (or mount
+// Handler on your own server), swap with ReloadImage, stop with
+// Shutdown.
 type Server struct {
-	flat     *oracle.Flat
+	img      atomic.Pointer[image]
 	reg      *obs.Registry
 	slow     *obs.SlowQuerySampler
 	workers  int
 	maxBatch int
-	source   string
+	maxImage int
 	started  time.Time
 
-	mux *http.ServeMux
-	srv *http.Server
+	// reloadMu serializes image swaps: one decode+flip+drain at a time,
+	// so generations are strictly increasing and drain waits don't
+	// interleave. Readers never take it.
+	reloadMu sync.Mutex
 
-	inflight  atomic.Int64
-	queries   *obs.Counter
-	batches   *obs.Counter
-	pairs     *obs.Counter
-	errs      *obs.Counter
-	inflightG *obs.Gauge
-	reqNs     *obs.Histogram
+	mux       *http.ServeMux
+	srv       *http.Server
+	serveDone chan struct{} // closed when Start's serve goroutine exits
+
+	inflight   atomic.Int64
+	queries    *obs.Counter
+	batches    *obs.Counter
+	pairs      *obs.Counter
+	errs       *obs.Counter
+	reloads    *obs.Counter
+	reloadErrs *obs.Counter
+	inflightG  *obs.Gauge
+	imageGen   *obs.Gauge
+	reqNs      *obs.Histogram
+	reloadNs   *obs.Histogram
 
 	pairBufs sync.Pool // *[]oracle.Pair
 	distBufs sync.Pool // *[]float64
@@ -90,36 +107,50 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBatch < 0 {
 		return nil, fmt.Errorf("serve: negative MaxBatch %d", cfg.MaxBatch)
 	}
+	if cfg.MaxImage < 0 {
+		return nil, fmt.Errorf("serve: negative MaxImage %d", cfg.MaxImage)
+	}
 	reg := cfg.Reg
 	if reg == nil {
 		reg = obs.New()
 	}
 	s := &Server{
-		flat:     cfg.Flat,
 		reg:      reg,
 		slow:     cfg.Slow,
 		workers:  cfg.Workers,
 		maxBatch: cfg.MaxBatch,
-		source:   cfg.Source,
+		maxImage: cfg.MaxImage,
 		started:  time.Now(),
 	}
 	if s.maxBatch == 0 {
 		s.maxBatch = DefaultMaxBatch
 	}
-	s.flat.SetMetrics(reg)
-	s.flat.SetSlowSampler(cfg.Slow)
+	if s.maxImage == 0 {
+		s.maxImage = DefaultMaxImage
+	}
 	s.queries = reg.Counter("serve.queries")
 	s.batches = reg.Counter("serve.batches")
 	s.pairs = reg.Counter("serve.batch_pairs")
 	s.errs = reg.Counter("serve.errors")
+	s.reloads = reg.Counter("serve.reloads")
+	s.reloadErrs = reg.Counter("serve.reload_errors")
 	s.inflightG = reg.Gauge("serve.inflight")
+	s.imageGen = reg.Gauge("serve.image_generation")
 	s.reqNs = reg.Histogram("serve.request_ns")
+	s.reloadNs = reg.Histogram("serve.reload_ns")
+
+	// Generation 1 is the image the server was born with; reloads count
+	// up from here. Published before the mux exists, so no reader can
+	// ever observe a nil image.
+	s.img.Store(s.newImage(cfg.Flat, 1, cfg.Source, cfg.Flat.EncodedSize(), 0))
+	s.imageGen.Set(1)
 
 	s.mux = http.NewServeMux()
 	s.mux.Handle("/query", s.track(http.HandlerFunc(s.handleQuery)))
 	s.mux.Handle("/query/batch", s.track(http.HandlerFunc(s.handleBatchJSON)))
 	s.mux.Handle("/query/batchbin", s.track(http.HandlerFunc(s.handleBatchBin)))
 	s.mux.HandleFunc("/admin/status", s.handleStatus)
+	s.mux.HandleFunc("/admin/reload", s.handleReload)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write([]byte("ok\n"))
@@ -135,26 +166,38 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Start binds addr (":0" picks a free port) and serves in a background
-// goroutine. It returns the bound address; failures to bind surface here.
+// goroutine. It returns the bound address; failures to bind surface
+// here. The goroutine is joined by Shutdown, not abandoned.
 func (s *Server) Start(addr string) (net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("serve: listen %s: %w", addr, err)
 	}
 	s.srv.Addr = ln.Addr().String()
+	s.serveDone = make(chan struct{})
 	go func() {
 		// http.ErrServerClosed is the normal Shutdown result; a dying
 		// listener surfaces through failing requests and Shutdown itself.
+		defer close(s.serveDone)
 		_ = s.srv.Serve(ln)
 	}()
 	return ln.Addr(), nil
 }
 
 // Shutdown drains the server: the listener closes immediately, requests
-// already being served run to completion (bounded by ctx), and the
-// instruments keep counting until the last one finishes.
+// already being served run to completion (bounded by ctx), the
+// instruments keep counting until the last one finishes, and the serve
+// goroutine launched by Start has exited by the time Shutdown returns
+// (unless ctx expired first).
 func (s *Server) Shutdown(ctx context.Context) error {
-	return s.srv.Shutdown(ctx)
+	err := s.srv.Shutdown(ctx)
+	if s.serveDone != nil {
+		select {
+		case <-s.serveDone:
+		case <-ctx.Done():
+		}
+	}
+	return err
 }
 
 // Inflight reports the query requests currently being served.

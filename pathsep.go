@@ -77,8 +77,11 @@ func NewDecompositionTrace() *DecompositionTrace { return obs.NewTrace() }
 // a private mux in the background: /metrics (Prometheus text format),
 // /debug/vars (expvar-style JSON with the snapshot under "pathsep") and
 // /debug/pprof. It returns once the listener is bound; shut it down with
-// the returned server's Shutdown or Close.
-func ServeDebug(addr string, m *Metrics) (*http.Server, error) { return obs.Serve(addr, m) }
+// the returned server's Shutdown or Close, then wait on the done channel
+// for the serve goroutine to exit.
+func ServeDebug(addr string, m *Metrics) (*http.Server, <-chan struct{}, error) {
+	return obs.Serve(addr, m)
+}
 
 // WriteMetricsPrometheus writes m in the Prometheus text exposition
 // format (version 0.0.4), sorted by metric name.
