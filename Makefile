@@ -1,6 +1,6 @@
 # Tier-1+ verification for the pathsep repo.
 #
-#   make check      vet + lint + build + race tests + determinism + fuzz smoke + obs-overhead + parallel-speedup + query-serving + serve-bench gates
+#   make check      vet + lint + build + race tests + determinism + fuzz smoke + obs-overhead + parallel-speedup + query-serving + path-serving + serve-bench gates
 #   make test       plain test run (the tier-1 gate)
 #   make lint       run the repo-specific analyzers (cmd/pathsep-lint) over ./...
 #   make determinism  full schedule-matrix byte-identity gate (GOMAXPROCS x workers x shuffled submission)
@@ -8,6 +8,7 @@
 #   make bench-obs  regenerate BENCH_obs.json (metrics on vs. off numbers)
 #   make bench-parallel  parallel-build speedup gate (BENCH_parallel.json)
 #   make bench-query     flat-vs-pointer query speedup gate (BENCH_query.json)
+#   make bench-path      path-reporting serving gate (BENCH_path.json)
 #   make bench-serve     in-process daemon self-load gate (BENCH_serve.json)
 
 GO ?= go
@@ -19,9 +20,9 @@ FUZZMINTIME ?= 50x
 LINT_BIN := bin/pathsep-lint
 LINT_SRC := $(wildcard cmd/pathsep-lint/*.go internal/analyzers/*.go internal/analyzers/*/*.go)
 
-.PHONY: check test vet lint lint-json determinism fuzz-short build race bench-overhead bench-obs bench-parallel bench-query bench-serve
+.PHONY: check test vet lint lint-json determinism fuzz-short build race bench-overhead bench-obs bench-parallel bench-query bench-path bench-serve
 
-check: vet lint build race determinism fuzz-short bench-overhead bench-parallel bench-query bench-serve
+check: vet lint build race determinism fuzz-short bench-overhead bench-parallel bench-query bench-path bench-serve
 
 test:
 	$(GO) build ./...
@@ -92,6 +93,13 @@ bench-parallel:
 # land in BENCH_query.json.
 bench-query:
 	BENCH_QUERY_GATE=1 $(GO) test -run TestQueryServingGate -v .
+
+# The path-reporting gate: with a warm reused caller buffer Flat.QueryPath
+# must allocate nothing and cost at most 2x a distance-only flat query
+# (best of three paired rounds — scheduler noise only inflates). The
+# measured numbers land in BENCH_path.json.
+bench-path:
+	BENCH_PATH_GATE=1 $(GO) test -run TestPathServingGate -v .
 
 # The serving gate: stand up the pathsepd engine in-process, self-load it
 # (concurrent GET /query then binary batches), and record QPS + latency

@@ -87,14 +87,21 @@ func TestServeBenchGate(t *testing.T) {
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
+	reloadP99 := int64(0)
+	if res.ReloadP99Ns != nil {
+		reloadP99 = *res.ReloadP99Ns
+	}
 	t.Logf("wrote BENCH_serve.json: qps=%.0f p50=%dns p99=%dns batch=%.0f pairs/s errors=%d reloads=%d reload_p99=%dns",
-		res.QPS, res.P50Ns, res.P99Ns, res.BatchQPS, res.Errors, res.Reloads, res.ReloadP99Ns)
+		res.QPS, res.P50Ns, res.P99Ns, res.BatchQPS, res.Errors, res.Reloads, reloadP99)
 
 	if res.Errors != 0 {
 		t.Fatalf("self-load produced %d request errors", res.Errors)
 	}
 	if res.Reloads < 1 || res.ReloadErrors != 0 {
 		t.Fatalf("mid-load reloads: %d succeeded, %d failed; want >=1 and 0", res.Reloads, res.ReloadErrors)
+	}
+	if res.ReloadP50Ns == nil || res.ReloadP99Ns == nil || res.ReloadMaxNs == nil {
+		t.Fatal("reload percentiles missing despite successful reloads")
 	}
 	if res.Requests == 0 || res.QPS <= 0 {
 		t.Fatalf("single-query phase served no traffic: %+v", res)

@@ -9,6 +9,8 @@
 // Endpoints (see internal/serve):
 //
 //	GET  /query?u=&v=      one distance, JSON
+//	GET  /query/path?u=&v= distance plus witness path, JSON (409 on
+//	                       distance-only images)
 //	POST /query/batch      JSON batch
 //	POST /query/batchbin   binary batch (LE uint32 pairs -> LE float64)
 //	GET  /admin/status     image metadata, serving stats, slow queries
@@ -93,8 +95,12 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("pathsepd: image %s: n=%d eps=%g mode=%s (%d keys, %d entries, %d portals, %d bytes)\n",
-		source, fl.N(), fl.Eps(), fl.Mode(), fl.NumKeys(), fl.NumEntries(), fl.NumPortals(), fl.EncodedSize())
+	paths := "distance-only"
+	if fl.PathReporting() {
+		paths = "paths"
+	}
+	fmt.Printf("pathsepd: image %s: n=%d eps=%g mode=%s %s (%d keys, %d entries, %d portals, %d bytes)\n",
+		source, fl.N(), fl.Eps(), fl.Mode(), paths, fl.NumKeys(), fl.NumEntries(), fl.NumPortals(), fl.EncodedSize())
 
 	var slow *obs.SlowQuerySampler
 	if *slowN > 0 {
@@ -254,8 +260,12 @@ func runBench(srv *serve.Server, fl *oracle.Flat, d time.Duration, conc, batch, 
 	if err := f.Close(); err != nil {
 		fail(err)
 	}
+	reloadP99 := int64(0)
+	if res.ReloadP99Ns != nil {
+		reloadP99 = *res.ReloadP99Ns
+	}
 	fmt.Printf("serve-bench: %d reqs %.0f qps p50=%dns p99=%dns; batch %.0f pairs/s (batch=%d); %d reloads p99=%dns -> %s\n",
-		res.Requests, res.QPS, res.P50Ns, res.P99Ns, res.BatchQPS, batch, res.Reloads, res.ReloadP99Ns, out)
+		res.Requests, res.QPS, res.P50Ns, res.P99Ns, res.BatchQPS, batch, res.Reloads, reloadP99, out)
 }
 
 func fail(err error) {

@@ -19,9 +19,14 @@ import (
 )
 
 // Entry is one centroid record: the centroid's ID in the centroid tree
-// and the exact distance from the labeled vertex.
+// and the exact distance from the labeled vertex. Hop is the next vertex
+// (original ID) on the unique tree path from the labeled vertex toward
+// that centroid, or -1 when the labeled vertex IS the centroid — the
+// parent link that lets QueryPath rebuild the witness path by chasing
+// hops, mirroring the portal hop records of the distance oracle.
 type Entry struct {
 	Centroid int32
+	Hop      int32
 	Dist     float64
 }
 
@@ -82,7 +87,11 @@ func BuildTree(g *graph.Graph) (*TreeLabeling, error) {
 			if math.IsInf(tr.Dist[sv], 1) {
 				return nil, fmt.Errorf("labeling: subtree disconnected")
 			}
-			t.Labels[ov].Entries = append(t.Labels[ov].Entries, Entry{Centroid: id, Dist: tr.Dist[sv]})
+			hop := int32(-1)
+			if p := tr.Parent[sv]; p >= 0 {
+				hop = int32(sub.Orig[p])
+			}
+			t.Labels[ov].Entries = append(t.Labels[ov].Entries, Entry{Centroid: id, Hop: hop, Dist: tr.Dist[sv]})
 		}
 		for _, comp := range graph.ComponentsAfterRemoval(sub.G, []int{c}) {
 			lifted := make([]int, len(comp))
@@ -175,6 +184,98 @@ func QueryTreeLabels(a, b *TreeLabel) float64 {
 		}
 	}
 	return best
+}
+
+// queryTreeLabelsArg is QueryTreeLabels plus the centroid realizing the
+// minimum — the same fold in the same order, so the reported distance is
+// bit-identical to the distance-only query.
+func queryTreeLabelsArg(a, b *TreeLabel) (float64, int32) {
+	best := math.Inf(1)
+	bestC := int32(-1)
+	bByID := make(map[int32]float64, len(b.Entries))
+	for _, e := range b.Entries {
+		bByID[e.Centroid] = e.Dist
+	}
+	for _, e := range a.Entries {
+		if d, ok := bByID[e.Centroid]; ok {
+			if s := e.Dist + d; s < best {
+				best = s
+				bestC = e.Centroid
+			}
+		}
+	}
+	return best, bestC
+}
+
+// findEntry returns the label's record for centroid c. Labels hold
+// O(log n) entries, so a linear scan beats a search.
+func findEntry(l *TreeLabel, c int32) (Entry, bool) {
+	for _, e := range l.Entries {
+		if e.Centroid == c {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// walkTo climbs from vertex x to centroid c by hop links, appending every
+// vertex on the way — x first, c last. The step budget catches hand-built
+// labelings whose hop links cycle.
+func (t *TreeLabeling) walkTo(x int, c int32, buf []int32) ([]int32, error) {
+	for steps := 0; steps < t.n; steps++ {
+		buf = append(buf, int32(x))
+		e, ok := findEntry(&t.Labels[x], c)
+		if !ok {
+			return buf, fmt.Errorf("labeling: vertex %d has no entry for centroid %d", x, c)
+		}
+		if e.Hop < 0 {
+			return buf, nil
+		}
+		if int(e.Hop) >= len(t.Labels) {
+			return buf, fmt.Errorf("labeling: vertex %d hop %d out of range", x, e.Hop)
+		}
+		x = int(e.Hop)
+	}
+	return buf, fmt.Errorf("labeling: hop chain to centroid %d exceeds %d steps", c, t.n)
+}
+
+// QueryPath returns the exact distance between u and v together with the
+// unique u-v tree path, rebuilt by chasing hop links up to the deepest
+// shared centroid from both ends. The path is appended to buf (pass nil,
+// or reuse a buffer to amortize); it starts at u and ends at v, and its
+// edge-weight sum telescopes to the reported distance. Out-of-range IDs
+// report (+Inf, empty); u == v reports (0, [u]). The distance is
+// bit-identical to Query. Errors only surface on inconsistent hop links
+// (hand-built labels), never on BuildTree output.
+func (t *TreeLabeling) QueryPath(u, v int, buf []int32) (float64, []int32, error) {
+	buf = buf[:0]
+	if u < 0 || v < 0 || u >= len(t.Labels) || v >= len(t.Labels) {
+		return math.Inf(1), buf, nil
+	}
+	if u == v {
+		return 0, append(buf, int32(u)), nil
+	}
+	dist, c := queryTreeLabelsArg(&t.Labels[u], &t.Labels[v])
+	if math.IsInf(dist, 1) {
+		return dist, buf, nil
+	}
+	buf, err := t.walkTo(u, c, buf)
+	if err != nil {
+		return dist, buf[:0], err
+	}
+	mark := len(buf)
+	buf, err = t.walkTo(v, c, buf)
+	if err != nil {
+		return dist, buf[:0], err
+	}
+	// The second climb arrives at the centroid already placed by the
+	// first: reverse it in place and drop its copy of c.
+	tail := buf[mark:]
+	for i, j := 0, len(tail)-1; i < j; i, j = i+1, j-1 {
+		tail[i], tail[j] = tail[j], tail[i]
+	}
+	copy(tail, tail[1:])
+	return dist, buf[:len(buf)-1], nil
 }
 
 // FlatTree is the compiled read-only query form of a TreeLabeling: the

@@ -138,6 +138,75 @@ func TestQuickExactness(t *testing.T) {
 	}
 }
 
+// TestQueryPathExact checks witness-path reporting on several tree
+// families: for every sampled pair the reported distance is bit-identical
+// to Query, the path is a real tree walk from u to v, and its edge-weight
+// sum matches the exact distance.
+func TestQueryPathExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for name, g := range map[string]*graph.Graph{
+		"path":   graph.Path(21, graph.UniformWeights(1, 3), rng),
+		"random": graph.RandomTree(70, graph.UniformWeights(0.5, 5), rng),
+		"star":   graph.Star(30, graph.UniformWeights(1, 2), rng),
+		"binary": graph.BinaryTree(63, graph.UnitWeights(), rng),
+	} {
+		l, err := BuildTree(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := g.N()
+		var buf []int32
+		for u := 0; u < n; u += 3 {
+			for v := 0; v < n; v += 5 {
+				var dist float64
+				dist, buf, err = l.QueryPath(u, v, buf)
+				if err != nil {
+					t.Fatalf("%s: QueryPath(%d,%d): %v", name, u, v, err)
+				}
+				if want := l.Query(u, v); math.Float64bits(dist) != math.Float64bits(want) {
+					t.Fatalf("%s: QueryPath(%d,%d) dist %v, Query %v", name, u, v, dist, want)
+				}
+				if len(buf) == 0 || int(buf[0]) != u || int(buf[len(buf)-1]) != v {
+					t.Fatalf("%s: path(%d,%d) endpoints wrong: %v", name, u, v, buf)
+				}
+				w := 0.0
+				for i := 1; i < len(buf); i++ {
+					ew, ok := g.EdgeWeight(int(buf[i-1]), int(buf[i]))
+					if !ok {
+						t.Fatalf("%s: path(%d,%d) uses non-edge %d-%d: %v", name, u, v, buf[i-1], buf[i], buf)
+					}
+					w += ew
+				}
+				if math.Abs(w-dist) > 1e-9 {
+					t.Fatalf("%s: path(%d,%d) weighs %v, reported %v (%v)", name, u, v, w, dist, buf)
+				}
+			}
+		}
+		// Out-of-range and self pairs follow the Query conventions.
+		if d, p, err := l.QueryPath(-1, 2, buf); err != nil || !math.IsInf(d, 1) || len(p) != 0 {
+			t.Fatalf("%s: out-of-range: %v %v %v", name, d, p, err)
+		}
+		if d, p, err := l.QueryPath(4, 4, buf); err != nil || math.Float64bits(d) != 0 || len(p) != 1 || p[0] != 4 {
+			t.Fatalf("%s: self pair: %v %v %v", name, d, p, err)
+		}
+	}
+}
+
+// TestQueryPathRejectsCorruptHops pins the step budget: a hand-built
+// labeling whose hop links cycle reports an error instead of spinning.
+func TestQueryPathRejectsCorruptHops(t *testing.T) {
+	bad := &TreeLabeling{
+		Labels: []TreeLabel{
+			{Entries: []Entry{{Centroid: 0, Hop: 1, Dist: 1}}},
+			{Entries: []Entry{{Centroid: 0, Hop: 0, Dist: 1}}},
+		},
+		n: 2,
+	}
+	if _, _, err := bad.QueryPath(0, 1, nil); err == nil {
+		t.Fatal("cyclic hop links accepted")
+	}
+}
+
 // TestFlatTreeMatchesPointer freezes labelings of several tree families
 // and checks Query bit-identity against TreeLabeling.Query for every pair,
 // including self and out-of-range IDs, plus the accessor bookkeeping and

@@ -39,10 +39,36 @@ type Flat struct {
 	portalOff []int32  // len numEntries+1: CSR offsets into portals
 	portals   []Portal // one contiguous pool, grouped by entry
 
+	// Path-reporting sections (wire v2; see path.go and flat_encode.go).
+	// hops[i] is the portal-pool index of the next record on pool record
+	// i's hop chain, or -1 at the chain's anchor; pathOff/pathVert/
+	// pathPos are the per-key separator-path geometry in CSR form.
+	hops        []int32
+	pathOff     []int32
+	pathVert    []int32
+	pathPos     []float64
+	hasPathData bool
+
 	// Derived view of the pool (see derive): the sweep reads one indexed
 	// load per step and does one add, instead of a Portal load plus two
 	// arithmetic ops. Not part of the encoding; rebuilt on decode.
 	sweep []sweepPortal
+	// Derived walk layout (deriveWalk; path-bearing images only): the hop
+	// forest re-laid-out in heavy-chain order, each chain one contiguous
+	// block in walkBlk — its records' owning vertices child-to-parent,
+	// then a two-word trailer [jumpSlot, jumpEnd] naming the segment the
+	// chain head hops into (jumpSlot -1 at an anchor head). A walk is a
+	// handful of bulk copies: memmove the owner run, read the trailer off
+	// the cache lines the copy just touched, jump. Light edges are the
+	// only jumps and a walk crosses O(log P) of them. walkFrom maps a
+	// pool record to its first segment (slot, run end) plus its chain's
+	// final anchor index into the key's path-geometry span — one load
+	// hands QueryPath both walk entries and both anchors before either
+	// walk runs, so the middle segment is emitted in final order between
+	// the two chains. Records a corrupt image left unreachable from any
+	// anchor carry slot -1; anchor -1 marks unresolvable geometry.
+	walkBlk  []int32
+	walkFrom []startRec
 
 	// buf retains the encoded byte slice when the Flat was produced by a
 	// zero-copy DecodeFlat; the slices above alias it.
@@ -105,6 +131,9 @@ func (o *Oracle) Freeze() (*Flat, error) {
 		}
 		f.entryOff[v+1] = int32(len(f.entryKey))
 	}
+	if o.hasPathData {
+		f.freezePaths(o)
+	}
 	f.derive()
 	return f, nil
 }
@@ -127,6 +156,198 @@ func (f *Flat) derive() {
 	f.sweep = make([]sweepPortal, len(f.portals))
 	for i, p := range f.portals {
 		f.sweep[i] = sweepPortal{pos: p.Pos, sum: p.Dist + p.Pos, diff: p.Dist - p.Pos}
+	}
+	if f.hasPathData {
+		f.deriveWalk()
+	}
+}
+
+// startRec is the per-pool-record walk entry: the record's slot and its
+// chain's last owner slot in walkBlk (slot -1 when stranded by a corrupt
+// image), the chain's final anchor index into the key's path-geometry
+// span (-1 when unresolvable), and the walk's total output length from
+// this record to its anchor inclusive. Knowing both walks' lengths and
+// anchors up front lets QueryPath size the output once and write every
+// piece straight into its final position. 16 bytes keeps the record on
+// one cache line.
+type startRec struct {
+	slot   int32
+	end    int32
+	anchor int32
+	depth  int32
+}
+
+// deriveWalk compiles the hop forest into the walkBlk/walkFrom layout.
+// Chains are emitted in heavy-path order — each record's heaviest child
+// is placed immediately before it — so a chain from any slot to its head
+// is one contiguous owner run the walk copies in bulk; only light edges
+// jump, and a root-to-leaf walk crosses O(log P) of them. Anchor heads
+// resolve their path-geometry index here (the one equality search per
+// anchor that QueryPath would otherwise run per query). Records on a hop
+// cycle (possible only in a corrupt image: decode validates hop ranges,
+// not acyclicity) are never reached from an anchor and keep walkFrom
+// slot -1, which the walk reports as a dangling record.
+func (f *Flat) deriveWalk() {
+	p := len(f.hops)
+	f.walkFrom = make([]startRec, p)
+	if p == 0 {
+		f.walkBlk = nil
+		return
+	}
+	pos := make([]int32, p)
+	owner := make([]int32, p)
+	for v := 0; v < f.n; v++ {
+		for e := f.entryOff[v]; e < f.entryOff[v+1]; e++ {
+			for i := f.portalOff[e]; i < f.portalOff[e+1]; i++ {
+				owner[i] = int32(v)
+			}
+		}
+	}
+	// Children of each record in the hop forest, CSR form.
+	childOff := make([]int32, p+1)
+	for _, h := range f.hops {
+		if h >= 0 {
+			childOff[h+1]++
+		}
+	}
+	for i := 0; i < p; i++ {
+		childOff[i+1] += childOff[i]
+	}
+	child := make([]int32, childOff[p])
+	fill := make([]int32, p)
+	for i, h := range f.hops {
+		if h >= 0 {
+			child[childOff[h]+fill[h]] = int32(i)
+			fill[h]++
+		}
+	}
+	// Subtree sizes bottom-up (Kahn's order: leaves drain first). Cycle
+	// records never drain; their sizes stay partial, which is fine — they
+	// are never placed either.
+	size := make([]int32, p)
+	pend := fill // fully counted above; reuse as the pending-child count
+	queue := make([]int32, 0, p)
+	for i := 0; i < p; i++ {
+		size[i] = 1
+		if pend[i] == 0 {
+			queue = append(queue, int32(i))
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		i := queue[qi]
+		if h := f.hops[i]; h >= 0 {
+			size[h] += size[i]
+			if pend[h]--; pend[h] == 0 {
+				queue = append(queue, h)
+			}
+		}
+	}
+	heavy := make([]int32, p)
+	for i := 0; i < p; i++ {
+		best, bestSz := int32(-1), int32(0)
+		for x := childOff[i]; x < childOff[i+1]; x++ {
+			if c := child[x]; size[c] > bestSz {
+				best, bestSz = c, size[c]
+			}
+		}
+		heavy[i] = best
+	}
+	// Lay out heavy paths into walkBlk: each chain root-to-leaf, written
+	// leaf-first so the bulk copy runs child-to-parent left to right, the
+	// chain head on the run's last slot, and a two-word trailer after it.
+	// Chains are placed parent-before-light-child (a head is pushed only
+	// after its parent's chain lands), so a chain's jump and anchor
+	// resolve off already-placed chains in one placement-order pass.
+	for i := range pos {
+		pos[i] = -1
+	}
+	var heads, path []int32
+	for i := 0; i < p; i++ {
+		if f.hops[i] < 0 {
+			heads = append(heads, int32(i))
+		}
+	}
+	type chainRec struct {
+		head int32 // pool record on the run's last slot
+		end  int32 // walkBlk index of that slot
+	}
+	var chains []chainRec
+	chainOf := make([]int32, p) // pool record -> index into chains
+	recEnd := make([]int32, p)  // pool record -> its chain's end slot
+	blk := make([]int32, 0, p+p/2)
+	for len(heads) > 0 {
+		h := heads[len(heads)-1]
+		heads = heads[:len(heads)-1]
+		path = path[:0]
+		for x := h; x >= 0; x = heavy[x] {
+			path = append(path, x)
+		}
+		end := int32(len(blk) + len(path) - 1)
+		ci := int32(len(chains))
+		chains = append(chains, chainRec{head: h, end: end})
+		for i := len(path) - 1; i >= 0; i-- {
+			r := path[i]
+			pos[r] = int32(len(blk))
+			blk = append(blk, owner[r])
+			chainOf[r] = ci
+			recEnd[r] = end
+		}
+		blk = append(blk, -1, -1) // trailer, filled below
+		for _, node := range path {
+			for x := childOff[node]; x < childOff[node+1]; x++ {
+				if c := child[x]; c != heavy[node] {
+					heads = append(heads, c)
+				}
+			}
+		}
+	}
+	f.walkBlk = blk
+	// Resolve each placed anchor head's geometry index — a failed
+	// resolution (corrupt image) stays -1 and surfaces as a walk error.
+	anchorIdx := make([]int32, p)
+	for i := range anchorIdx {
+		anchorIdx[i] = -1
+	}
+	for e := 0; e < len(f.entryKey); e++ {
+		kid := f.entryKey[e]
+		plo, phi := f.pathOff[kid], f.pathOff[kid+1]
+		pathPos := f.pathPos[plo:phi]
+		pathVert := f.pathVert[plo:phi]
+		for i := f.portalOff[e]; i < f.portalOff[e+1]; i++ {
+			if pos[i] < 0 || f.hops[i] >= 0 {
+				continue
+			}
+			if idx, err := pathIndexAt(pathPos, pathVert, f.portals[i].Pos, owner[i]); err == nil {
+				anchorIdx[i] = int32(idx)
+			}
+		}
+	}
+	// Fill trailers and per-chain anchor/tail-depth in placement order: a
+	// light chain jumps into its parent's run and inherits its anchor and
+	// the walk length past its head; a root chain stops at its own
+	// resolved geometry index.
+	chainAnchor := make([]int32, len(chains))
+	chainTail := make([]int32, len(chains)) // output length after the head
+	for ci, c := range chains {
+		if h := f.hops[c.head]; h >= 0 {
+			blk[c.end+1] = pos[h]
+			blk[c.end+2] = recEnd[h]
+			hc := chainOf[h]
+			chainAnchor[ci] = chainAnchor[hc]
+			chainTail[ci] = (recEnd[h] - pos[h] + 1) + chainTail[hc]
+		} else {
+			chainAnchor[ci] = anchorIdx[c.head]
+		}
+	}
+	for r := 0; r < p; r++ {
+		sr := startRec{slot: pos[r], end: -1, anchor: -1}
+		if sr.slot >= 0 {
+			ci := chainOf[r]
+			sr.end = recEnd[r]
+			sr.anchor = chainAnchor[ci]
+			sr.depth = (recEnd[r] - pos[r] + 1) + chainTail[ci]
+		}
+		f.walkFrom[r] = sr
 	}
 }
 

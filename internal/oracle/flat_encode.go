@@ -26,15 +26,36 @@ import (
 //	      pad to 8B
 //	      portals    numPortals × 16B (pos float64 | dist float64)
 //
+// Version 2 (path-reporting images) grows the header by one count and
+// appends the hop links and separator-path geometry after the portal
+// pool; everything up to and including the portals keeps the v1 layout
+// shifted by the 8 extra header bytes:
+//
+//	[1]   version 2
+//	[56]  numPathVerts uint64
+//	[64]  keys … portals   as in v1
+//	      hops      numPortals × 4B int32 (pool index of the next chain
+//	                record, -1 at the anchor)
+//	      pathOff   (numKeys+1) × 4B int32
+//	      pathVert  numPathVerts × 4B int32
+//	      pad to 8B
+//	      pathPos   numPathVerts × 8B float64
+//
+// Distance-only images keep encoding as v1, so Encode∘DecodeFlat is a
+// fixed point in both directions and old readers reject v2 loudly by
+// version byte.
+//
 // The field order and widths match the in-memory layout of Key and Portal
 // on a little-endian host, so DecodeFlat can alias the sections straight
 // out of the byte slice (zero copy) whenever the buffer is 8-byte aligned;
 // otherwise — or on a big-endian host — it falls back to a copying decode
 // that reads the same bytes portably.
 const (
-	flatMagic   = 0xA7
-	flatVersion = 1
-	flatHeader  = 56
+	flatMagic    = 0xA7
+	flatVersion  = 1
+	flatVersion2 = 2
+	flatHeader   = 56
+	flatHeaderV2 = 64
 )
 
 // hostLittleEndian reports whether this machine stores multi-byte values
@@ -63,16 +84,50 @@ func flatLayout(n, numKeys, numEntries, numPortals int) flatSections {
 	return s
 }
 
+// flatSectionsV2 extends flatSections with the v2 path sections.
+type flatSectionsV2 struct {
+	flatSections
+	hops, pathOff, pathVert, pathPos int
+}
+
+func flatLayoutV2(n, numKeys, numEntries, numPortals, numPathVerts int) flatSectionsV2 {
+	var s flatSectionsV2
+	s.keys = flatHeaderV2
+	s.entryOff = s.keys + 8*numKeys
+	s.entryKey = s.entryOff + 4*(n+1)
+	s.portalOff = s.entryKey + 4*numEntries
+	end := s.portalOff + 4*(numEntries+1)
+	s.portals = (end + 7) &^ 7 // align the float64 pool
+	s.hops = s.portals + 16*numPortals
+	s.pathOff = s.hops + 4*numPortals
+	s.pathVert = s.pathOff + 4*(numKeys+1)
+	end = s.pathVert + 4*numPathVerts
+	s.pathPos = (end + 7) &^ 7 // align the float64 positions
+	s.total = s.pathPos + 8*numPathVerts
+	return s
+}
+
 // EncodedSize returns the exact byte length of Encode's output.
 func (f *Flat) EncodedSize() int {
+	if f.hasPathData {
+		return flatLayoutV2(f.n, len(f.keys), len(f.entryKey), len(f.portals), len(f.pathVert)).total
+	}
 	return flatLayout(f.n, len(f.keys), len(f.entryKey), len(f.portals)).total
 }
 
-// Encode serializes the flat oracle. The output is 8-byte aligned by
-// construction (Go allocations of this size always are), so decoding it
-// back on a little-endian host takes the zero-copy path.
+// Encode serializes the flat oracle (as v2 when it carries path data,
+// v1 otherwise). The output is 8-byte aligned by construction (Go
+// allocations of this size always are), so decoding it back on a
+// little-endian host takes the zero-copy path.
 func (f *Flat) Encode() []byte {
-	s := flatLayout(f.n, len(f.keys), len(f.entryKey), len(f.portals))
+	var s flatSections
+	var s2 flatSectionsV2
+	if f.hasPathData {
+		s2 = flatLayoutV2(f.n, len(f.keys), len(f.entryKey), len(f.portals), len(f.pathVert))
+		s = s2.flatSections
+	} else {
+		s = flatLayout(f.n, len(f.keys), len(f.entryKey), len(f.portals))
+	}
 	buf := make([]byte, s.total)
 	buf[0] = flatMagic
 	buf[1] = flatVersion
@@ -83,6 +138,10 @@ func (f *Flat) Encode() []byte {
 	le.PutUint64(buf[32:], uint64(len(f.keys)))
 	le.PutUint64(buf[40:], uint64(len(f.entryKey)))
 	le.PutUint64(buf[48:], uint64(len(f.portals)))
+	if f.hasPathData {
+		buf[1] = flatVersion2
+		le.PutUint64(buf[56:], uint64(len(f.pathVert)))
+	}
 	for i, k := range f.keys {
 		at := s.keys + 8*i
 		le.PutUint32(buf[at:], uint32(k.Node))
@@ -103,6 +162,20 @@ func (f *Flat) Encode() []byte {
 		le.PutUint64(buf[at:], math.Float64bits(p.Pos))
 		le.PutUint64(buf[at+8:], math.Float64bits(p.Dist))
 	}
+	if f.hasPathData {
+		for i, v := range f.hops {
+			le.PutUint32(buf[s2.hops+4*i:], uint32(v))
+		}
+		for i, v := range f.pathOff {
+			le.PutUint32(buf[s2.pathOff+4*i:], uint32(v))
+		}
+		for i, v := range f.pathVert {
+			le.PutUint32(buf[s2.pathVert+4*i:], uint32(v))
+		}
+		for i, x := range f.pathPos {
+			le.PutUint64(buf[s2.pathPos+8*i:], math.Float64bits(x))
+		}
+	}
 	return buf
 }
 
@@ -121,7 +194,15 @@ func DecodeFlat(buf []byte) (*Flat, error) {
 	if len(buf) < flatHeader || buf[0] != flatMagic {
 		return nil, fmt.Errorf("oracle: flat: bad magic or truncated header")
 	}
-	if buf[1] != flatVersion {
+	withPaths := false
+	switch buf[1] {
+	case flatVersion:
+	case flatVersion2:
+		withPaths = true
+		if len(buf) < flatHeaderV2 {
+			return nil, fmt.Errorf("oracle: flat: truncated v2 header")
+		}
+	default:
 		return nil, fmt.Errorf("oracle: flat: unsupported version %d", buf[1])
 	}
 	le := binary.LittleEndian
@@ -131,17 +212,28 @@ func DecodeFlat(buf []byte) (*Flat, error) {
 	numKeys := le.Uint64(buf[32:])
 	numEntries := le.Uint64(buf[40:])
 	numPortals := le.Uint64(buf[48:])
-	const maxCount = math.MaxInt32
-	if n > maxCount || numKeys > maxCount || numEntries >= maxCount || numPortals > maxCount {
-		return nil, fmt.Errorf("oracle: flat: header counts out of range (n=%d keys=%d entries=%d portals=%d)",
-			n, numKeys, numEntries, numPortals)
+	numPathVerts := uint64(0)
+	if withPaths {
+		numPathVerts = le.Uint64(buf[56:])
 	}
-	s := flatLayout(int(n), int(numKeys), int(numEntries), int(numPortals))
+	const maxCount = math.MaxInt32
+	if n > maxCount || numKeys > maxCount || numEntries >= maxCount || numPortals > maxCount || numPathVerts > maxCount {
+		return nil, fmt.Errorf("oracle: flat: header counts out of range (n=%d keys=%d entries=%d portals=%d pathverts=%d)",
+			n, numKeys, numEntries, numPortals, numPathVerts)
+	}
+	var s flatSections
+	var s2 flatSectionsV2
+	if withPaths {
+		s2 = flatLayoutV2(int(n), int(numKeys), int(numEntries), int(numPortals), int(numPathVerts))
+		s = s2.flatSections
+	} else {
+		s = flatLayout(int(n), int(numKeys), int(numEntries), int(numPortals))
+	}
 	if len(buf) != s.total {
 		return nil, fmt.Errorf("oracle: flat: size %d does not match header (want %d)", len(buf), s.total)
 	}
 
-	f := &Flat{n: int(n), eps: eps, mode: Mode(mode)}
+	f := &Flat{n: int(n), eps: eps, mode: Mode(mode), hasPathData: withPaths}
 	if hostLittleEndian && uintptr(unsafe.Pointer(&buf[0]))%8 == 0 {
 		f.buf = buf
 		if numKeys > 0 {
@@ -154,6 +246,16 @@ func DecodeFlat(buf []byte) (*Flat, error) {
 		f.portalOff = unsafe.Slice((*int32)(unsafe.Pointer(&buf[s.portalOff])), numEntries+1)
 		if numPortals > 0 {
 			f.portals = unsafe.Slice((*Portal)(unsafe.Pointer(&buf[s.portals])), numPortals)
+		}
+		if withPaths {
+			if numPortals > 0 {
+				f.hops = unsafe.Slice((*int32)(unsafe.Pointer(&buf[s2.hops])), numPortals)
+			}
+			f.pathOff = unsafe.Slice((*int32)(unsafe.Pointer(&buf[s2.pathOff])), numKeys+1)
+			if numPathVerts > 0 {
+				f.pathVert = unsafe.Slice((*int32)(unsafe.Pointer(&buf[s2.pathVert])), numPathVerts)
+				f.pathPos = unsafe.Slice((*float64)(unsafe.Pointer(&buf[s2.pathPos])), numPathVerts)
+			}
 		}
 	} else {
 		f.keys = make([]Key, numKeys)
@@ -185,6 +287,24 @@ func DecodeFlat(buf []byte) (*Flat, error) {
 				Dist: math.Float64frombits(le.Uint64(buf[at+8:])),
 			}
 		}
+		if withPaths {
+			f.hops = make([]int32, numPortals)
+			for i := range f.hops {
+				f.hops[i] = int32(le.Uint32(buf[s2.hops+4*i:]))
+			}
+			f.pathOff = make([]int32, numKeys+1)
+			for i := range f.pathOff {
+				f.pathOff[i] = int32(le.Uint32(buf[s2.pathOff+4*i:]))
+			}
+			f.pathVert = make([]int32, numPathVerts)
+			for i := range f.pathVert {
+				f.pathVert[i] = int32(le.Uint32(buf[s2.pathVert+4*i:]))
+			}
+			f.pathPos = make([]float64, numPathVerts)
+			for i := range f.pathPos {
+				f.pathPos[i] = math.Float64frombits(le.Uint64(buf[s2.pathPos+8*i:]))
+			}
+		}
 	}
 	if err := f.validate(); err != nil {
 		return nil, err
@@ -213,6 +333,47 @@ func (f *Flat) validate() error {
 		}
 		if int(f.entryKey[e]) < 0 || int(f.entryKey[e]) >= len(f.keys) {
 			return fmt.Errorf("oracle: flat: entry %d references unknown key %d", e, f.entryKey[e])
+		}
+	}
+	if f.hasPathData {
+		return f.validatePaths()
+	}
+	return nil
+}
+
+// validatePaths bounds-checks the v2 sections: hop links stay inside the
+// portal pool, the path geometry spans its CSR table, vertices are in
+// range, and positions are NaN-free and non-decreasing per path. The
+// walk itself still guards against semantic corruption (cycles, chains
+// landing off their path) with static errors — validation here is what
+// lets it index without bounds checks.
+func (f *Flat) validatePaths() error {
+	for i, h := range f.hops {
+		if h < -1 || int(h) >= len(f.portals) {
+			return fmt.Errorf("oracle: flat: hop %d links to out-of-range record %d", i, h)
+		}
+	}
+	if f.pathOff[0] != 0 || int(f.pathOff[len(f.pathOff)-1]) != len(f.pathVert) {
+		return fmt.Errorf("oracle: flat: path offsets do not span the geometry")
+	}
+	// Check the whole offset table before indexing through it: a later
+	// decrease can push an earlier span past the geometry arrays.
+	for k := 0; k+1 < len(f.pathOff); k++ {
+		if f.pathOff[k] > f.pathOff[k+1] {
+			return fmt.Errorf("oracle: flat: path offsets decrease at key %d", k)
+		}
+	}
+	for k := 0; k+1 < len(f.pathOff); k++ {
+		prev := math.Inf(-1)
+		for x := f.pathOff[k]; x < f.pathOff[k+1]; x++ {
+			if int(f.pathVert[x]) < 0 || int(f.pathVert[x]) >= f.n {
+				return fmt.Errorf("oracle: flat: path vertex %d out of range", f.pathVert[x])
+			}
+			p := f.pathPos[x]
+			if math.IsNaN(p) || p < prev {
+				return fmt.Errorf("oracle: flat: path positions not sorted at key %d", k)
+			}
+			prev = p
 		}
 	}
 	return nil

@@ -246,7 +246,16 @@ func FuzzDecodeFlat(f *testing.F) {
 	f.Add(enc)
 	f.Add(enc[:len(enc)/2])
 	f.Add([]byte{flatMagic, flatVersion})
+	f.Add([]byte{flatMagic, flatVersion2})
 	f.Add([]byte{})
+	// A distance-only v1 image of the same oracle seeds the legacy branch.
+	o.hasPathData = false
+	if flV1, err := o.Freeze(); err == nil {
+		encV1 := flV1.Encode()
+		f.Add(encV1)
+		f.Add(encV1[:len(encV1)-9])
+	}
+	o.hasPathData = true
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Decode from an aligned copy and a deliberately misaligned copy,
@@ -274,12 +283,26 @@ func FuzzDecodeFlat(f *testing.F) {
 			t.Fatalf("re-decode of own encoding failed: %v", err)
 		}
 		n := fl.N()
+		var buf, buf2 []int32
 		for _, pair := range [][2]int{{0, 0}, {0, n - 1}, {-1, 3}, {n, n}} {
 			a := fl.Query(pair[0], pair[1])
 			for _, other := range []*Flat{flCopy, fl2} {
 				if b := other.Query(pair[0], pair[1]); math.Float64bits(a) != math.Float64bits(b) {
 					t.Fatalf("Query(%d,%d): %v vs %v", pair[0], pair[1], a, b)
 				}
+			}
+			// Path queries over decoded (possibly hostile) images may
+			// return errors but must never panic, and the zero-copy and
+			// copying decodes must behave identically.
+			ad, buf0, errA := fl.QueryPath(pair[0], pair[1], buf)
+			buf = buf0[:0]
+			bd, buf1, errB := flCopy.QueryPath(pair[0], pair[1], buf2)
+			buf2 = buf1[:0]
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("QueryPath(%d,%d): zero-copy err=%v, copying err=%v", pair[0], pair[1], errA, errB)
+			}
+			if errA == nil && math.Float64bits(ad) != math.Float64bits(bd) {
+				t.Fatalf("QueryPath(%d,%d): %v vs %v", pair[0], pair[1], ad, bd)
 			}
 		}
 	})

@@ -107,10 +107,15 @@ type Portal struct {
 }
 
 // Entry is the portal list a vertex stores for one separator path,
-// sorted by position.
+// sorted by position. Hops, when present, is parallel to Portals:
+// Hops[i] is the next vertex on a shortest walk from the labeled vertex
+// toward the path vertex Portals[i] points at, or -1 when the labeled
+// vertex is that path vertex itself. Path-reporting builds fill it; a
+// nil (or length-mismatched) Hops marks a distance-only legacy entry.
 type Entry struct {
 	Key     Key
 	Portals []Portal
+	Hops    []int32
 }
 
 // Label is the complete distance label of one vertex: entries sorted by
@@ -130,6 +135,15 @@ func (l *Label) NumPortals() int {
 	return total
 }
 
+// sepPath is one separator path in root-graph vertex IDs with the
+// prefix-weight position of every path vertex: the geometry needed to
+// expand the portal-to-portal middle segment of a reported path.
+type sepPath struct {
+	key   Key
+	verts []int32
+	pos   []float64
+}
+
 // Oracle is the centralized distance oracle: all labels plus the
 // decomposition tree metadata.
 type Oracle struct {
@@ -137,6 +151,12 @@ type Oracle struct {
 	N      int
 	Eps    float64
 	mode   Mode
+	// paths, when hasPathData, holds every separator path sorted by
+	// keyLess; QueryPath reads the middle segment of a reported walk off
+	// it. pos aliases the planning pass's prefix sums, so positions match
+	// portal Pos values bit for bit.
+	paths       []sepPath
+	hasPathData bool
 	// Query-time instruments, cached so the hot path costs one nil check
 	// when metrics are disabled. Set via SetMetrics / Options.Metrics.
 	qLatency *obs.Histogram
@@ -156,11 +176,13 @@ func (o *Oracle) SetMetrics(reg *obs.Registry) {
 }
 
 // rec is one deferred label entry produced by a parallel build task:
-// add(v, k, p) to be replayed by the merge pass.
+// add(v, k, p, h) to be replayed by the merge pass. h is the hop vertex
+// of the record (-1 when the record is a path vertex's self entry).
 type rec struct {
 	v int
 	k Key
 	p Portal
+	h int32
 }
 
 // Build constructs the oracle from a decomposition tree.
@@ -195,13 +217,14 @@ func Build(t *core.Tree, opt Options) (*Oracle, error) {
 		portalsPerPath = int(math.Ceil(4 / opt.Epsilon))
 	}
 
-	add := func(rootV int, k Key, p Portal) {
+	add := func(rootV int, k Key, p Portal, hop int32) {
 		lbl := &o.Labels[rootV]
 		if len(lbl.Entries) == 0 || lbl.Entries[len(lbl.Entries)-1].Key != k {
 			lbl.Entries = append(lbl.Entries, Entry{Key: k})
 		}
 		e := &lbl.Entries[len(lbl.Entries)-1]
 		e.Portals = append(e.Portals, p)
+		e.Hops = append(e.Hops, hop)
 	}
 
 	// Stage 1: serial planning — residual graphs, path geometry, self
@@ -258,9 +281,12 @@ func Build(t *core.Tree, opt Options) (*Oracle, error) {
 				k := Key{Node: int32(node.ID), Phase: int16(phaseIdx), Path: int16(pi)}
 				// Self entries: every path vertex is its own zero-distance
 				// portal.
+				sp := sepPath{key: k, verts: make([]int32, len(info.verts)), pos: info.pos}
 				for x, jv := range info.verts {
-					add(roots[jv], k, Portal{Pos: info.pos[x], Dist: 0})
+					sp.verts[x] = int32(roots[jv])
+					add(roots[jv], k, Portal{Pos: info.pos[x], Dist: 0}, -1)
 				}
+				o.paths = append(o.paths, sp)
 			}
 
 			switch opt.Mode {
@@ -282,7 +308,11 @@ func Build(t *core.Tree, opt Options) (*Oracle, error) {
 							if src < 0 || core.IsZeroDist(trQ.Dist[w]) {
 								continue
 							}
-							out = append(out, rec{roots[w], k, Portal{Pos: posOf[src], Dist: trQ.Dist[w]}})
+							// The hop is w's parent in the multi-source
+							// forest: it shares w's source, so it carries a
+							// record at the same (key, position) and the hop
+							// chain telescopes down to the source itself.
+							out = append(out, rec{roots[w], k, Portal{Pos: posOf[src], Dist: trQ.Dist[w]}, int32(roots[trQ.Parent[w]])})
 						}
 						// Evenly spaced portals (by weight), endpoints included.
 						sel := selectEvenPortals(info.pos, portalsPerPath)
@@ -293,7 +323,7 @@ func Build(t *core.Tree, opt Options) (*Oracle, error) {
 								if math.IsInf(tr.Dist[w], 1) || core.IsZeroDist(tr.Dist[w]) {
 									continue
 								}
-								out = append(out, rec{roots[w], k, Portal{Pos: info.pos[x], Dist: tr.Dist[w]}})
+								out = append(out, rec{roots[w], k, Portal{Pos: info.pos[x], Dist: tr.Dist[w]}, int32(roots[tr.Parent[w]])})
 							}
 						}
 						return out
@@ -313,7 +343,24 @@ func Build(t *core.Tree, opt Options) (*Oracle, error) {
 								if info.verts[x] == w {
 									continue // self entry already present
 								}
-								out = append(out, rec{roots[w], k, Portal{Pos: info.pos[x], Dist: tr.Dist[info.verts[x]]}})
+								path := tr.PathTo(info.verts[x])
+								out = append(out, rec{roots[w], k, Portal{Pos: info.pos[x], Dist: tr.Dist[info.verts[x]]}, int32(roots[path[1]])})
+								// Closure records: the ε-cover places no
+								// records at the witness path's interior
+								// vertices, so emit one per interior vertex
+								// (its exact tail distance to the anchor,
+								// accumulated backwards) to keep every hop
+								// chain landing on a record until it reaches
+								// the anchor's self entry. Subpaths of a
+								// shortest path are shortest, so each Dist is
+								// a true distance and query stretch can only
+								// improve.
+								tail := 0.0
+								for pidx := len(path) - 2; pidx >= 1; pidx-- {
+									ew, _ := j.EdgeWeight(path[pidx], path[pidx+1])
+									tail = ew + tail
+									out = append(out, rec{roots[path[pidx]], k, Portal{Pos: info.pos[x], Dist: tail}, int32(roots[path[pidx+1]])})
+								}
 							}
 						}
 						return out
@@ -336,13 +383,15 @@ func Build(t *core.Tree, opt Options) (*Oracle, error) {
 	// Stage 3: serial merge in fixed task order.
 	for _, rs := range outs {
 		for _, r := range rs {
-			add(r.v, r.k, r.p)
+			add(r.v, r.k, r.p, r.h)
 		}
 	}
 
 	for v := range o.Labels {
 		normalizeLabel(&o.Labels[v])
 	}
+	sort.Slice(o.paths, func(i, j int) bool { return keyLess(o.paths[i].key, o.paths[j].key) })
+	o.hasPathData = true
 	if m := opt.Metrics; m != nil {
 		labelHist := m.Histogram("oracle.label_portals")
 		for v := range o.Labels {
@@ -424,8 +473,18 @@ func epsCover(dist []float64, info pathInfo, eps float64) []int {
 	return chosen
 }
 
+// portalHop pairs a portal with its hop so the two co-sort and co-dedup.
+type portalHop struct {
+	p Portal
+	h int32
+}
+
 // normalizeLabel sorts entries by key, sorts portals by position, and
 // deduplicates portals at equal positions keeping the smaller distance.
+// Hops, when present, travel with their portals (ties broken by the
+// smaller hop so the result is schedule-independent); entries whose Hops
+// length does not match (legacy distance-only labels) take the
+// portal-only path.
 func normalizeLabel(l *Label) {
 	sort.Slice(l.Entries, func(i, j int) bool { return keyLess(l.Entries[i].Key, l.Entries[j].Key) })
 	// Merge duplicate keys (entries were appended per construction stage).
@@ -433,28 +492,62 @@ func normalizeLabel(l *Label) {
 	for _, e := range l.Entries {
 		if len(out) > 0 && out[len(out)-1].Key == e.Key {
 			out[len(out)-1].Portals = append(out[len(out)-1].Portals, e.Portals...)
+			out[len(out)-1].Hops = append(out[len(out)-1].Hops, e.Hops...)
 			continue
 		}
 		out = append(out, e)
 	}
 	l.Entries = out
 	for i := range l.Entries {
-		ps := l.Entries[i].Portals
-		sort.Slice(ps, func(a, b int) bool {
-			if !core.SameDist(ps[a].Pos, ps[b].Pos) {
-				return ps[a].Pos < ps[b].Pos
+		e := &l.Entries[i]
+		if len(e.Hops) != len(e.Portals) {
+			e.Hops = nil
+			normalizePortals(e)
+			continue
+		}
+		ph := make([]portalHop, len(e.Portals))
+		for x := range ph {
+			ph[x] = portalHop{p: e.Portals[x], h: e.Hops[x]}
+		}
+		sort.Slice(ph, func(a, b int) bool {
+			if !core.SameDist(ph[a].p.Pos, ph[b].p.Pos) {
+				return ph[a].p.Pos < ph[b].p.Pos
 			}
-			return ps[a].Dist < ps[b].Dist
+			if !core.SameDist(ph[a].p.Dist, ph[b].p.Dist) {
+				return ph[a].p.Dist < ph[b].p.Dist
+			}
+			return ph[a].h < ph[b].h
 		})
-		dedup := ps[:0]
-		for _, p := range ps {
-			if len(dedup) > 0 && core.SameDist(dedup[len(dedup)-1].Pos, p.Pos) {
+		ps, hs := e.Portals[:0], e.Hops[:0]
+		for _, x := range ph {
+			if len(ps) > 0 && core.SameDist(ps[len(ps)-1].Pos, x.p.Pos) {
 				continue // keep the smaller distance (sorted first)
 			}
-			dedup = append(dedup, p)
+			ps = append(ps, x.p)
+			hs = append(hs, x.h)
 		}
-		l.Entries[i].Portals = dedup
+		e.Portals, e.Hops = ps, hs
 	}
+}
+
+// normalizePortals is the distance-only half of normalizeLabel: sort by
+// position and dedup keeping the smaller distance.
+func normalizePortals(e *Entry) {
+	ps := e.Portals
+	sort.Slice(ps, func(a, b int) bool {
+		if !core.SameDist(ps[a].Pos, ps[b].Pos) {
+			return ps[a].Pos < ps[b].Pos
+		}
+		return ps[a].Dist < ps[b].Dist
+	})
+	dedup := ps[:0]
+	for _, p := range ps {
+		if len(dedup) > 0 && core.SameDist(dedup[len(dedup)-1].Pos, p.Pos) {
+			continue // keep the smaller distance (sorted first)
+		}
+		dedup = append(dedup, p)
+	}
+	e.Portals = dedup
 }
 
 // Query returns a (1+ε)-approximate distance between u and v, or +Inf if

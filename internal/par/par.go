@@ -34,8 +34,9 @@ import (
 // Pool is a bounded worker pool. Create one with New; the zero value and
 // the nil pool run everything inline.
 type Pool struct {
-	workers int
-	start   time.Time
+	workers      int
+	instrumented bool
+	start        time.Time
 
 	busy      atomic.Int64
 	taskNanos atomic.Int64
@@ -47,18 +48,26 @@ type Pool struct {
 }
 
 // New returns a pool of the given width. workers <= 0 means
-// runtime.GOMAXPROCS(0). reg may be nil (all instruments become no-ops).
+// runtime.GOMAXPROCS(0). A width above 1 is capped to 1 when only one
+// scheduler thread exists: helper goroutines cannot run concurrently
+// there, so they add handoff overhead without any speedup (the condition
+// the bench-parallel gate measures). reg may be nil (all instruments
+// become no-ops).
 func New(workers int, reg *obs.Registry) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > 1 && runtime.GOMAXPROCS(0) == 1 {
+		workers = 1
+	}
 	return &Pool{
-		workers:   workers,
-		start:     time.Now(),
-		busyGauge: reg.Gauge("build.workers_busy"),
-		stolen:    reg.Counter("build.tasks_stolen"),
-		taskNS:    reg.Histogram("build.task_ns"),
-		speedup:   reg.Gauge("build.parallel_speedup"),
+		workers:      workers,
+		instrumented: reg != nil,
+		start:        time.Now(),
+		busyGauge:    reg.Gauge("build.workers_busy"),
+		stolen:       reg.Counter("build.tasks_stolen"),
+		taskNS:       reg.Histogram("build.task_ns"),
+		speedup:      reg.Gauge("build.parallel_speedup"),
 	}
 }
 
@@ -130,6 +139,13 @@ func (p *Pool) ForEach(n int, fn func(int)) {
 		return i
 	}
 	if p == nil || p.workers <= 1 || n == 1 {
+		if p == nil || !p.instrumented {
+			// Serial fast path: no atomics, no clock reads per task.
+			for i := 0; i < n; i++ {
+				fn(task(i))
+			}
+			return
+		}
 		for i := 0; i < n; i++ {
 			p.run(task(i), 0, fn)
 		}

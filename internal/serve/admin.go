@@ -26,6 +26,9 @@ type ImageStatus struct {
 	NumEntries int     `json:"num_entries"`
 	NumPortals int     `json:"num_portals"`
 	Bytes      int     `json:"bytes"`
+	// PathReporting reports whether the image answers /query/path (wire
+	// format v2); distance-only v1 images serve distances only.
+	PathReporting bool `json:"path_reporting"`
 }
 
 // ServingStatus is the live request-side accounting.
@@ -90,8 +93,9 @@ func (s *Server) status() Status {
 			Mode:       im.flat.Mode().String(),
 			NumKeys:    im.flat.NumKeys(),
 			NumEntries: im.flat.NumEntries(),
-			NumPortals: im.flat.NumPortals(),
-			Bytes:      im.bytes,
+			NumPortals:    im.flat.NumPortals(),
+			Bytes:         im.bytes,
+			PathReporting: im.flat.PathReporting(),
 		},
 		Serving: ServingStatus{
 			Inflight:     s.inflight.Load(),

@@ -38,11 +38,14 @@ type BenchResult struct {
 
 	// Reload fields are populated by LoadBenchReload: image swaps fired
 	// mid-load, with the observed load+flip+drain latency distribution.
-	Reloads      int64 `json:"reloads,omitempty"`
-	ReloadErrors int64 `json:"reload_errors,omitempty"`
-	ReloadP50Ns  int64 `json:"reload_p50_ns,omitempty"`
-	ReloadP99Ns  int64 `json:"reload_p99_ns,omitempty"`
-	ReloadMaxNs  int64 `json:"reload_max_ns,omitempty"`
+	// The percentiles are pointers so a run with zero successful reloads
+	// omits the keys entirely instead of recording stale zeros — absent
+	// means "not measured", never "measured as 0".
+	Reloads      int64  `json:"reloads,omitempty"`
+	ReloadErrors int64  `json:"reload_errors,omitempty"`
+	ReloadP50Ns  *int64 `json:"reload_p50_ns,omitempty"`
+	ReloadP99Ns  *int64 `json:"reload_p99_ns,omitempty"`
+	ReloadMaxNs  *int64 `json:"reload_max_ns,omitempty"`
 }
 
 // percentile reads the q-quantile (0 <= q <= 1) of sorted latencies.
@@ -219,10 +222,9 @@ func LoadBenchReload(baseURL string, n int, d time.Duration, conc, batch int, se
 	sort.Slice(rlat, func(i, j int) bool { return rlat[i] < rlat[j] })
 	res.Reloads = int64(len(rlat))
 	res.ReloadErrors = rerrs
-	res.ReloadP50Ns = percentile(rlat, 0.50)
-	res.ReloadP99Ns = percentile(rlat, 0.99)
 	if len(rlat) > 0 {
-		res.ReloadMaxNs = rlat[len(rlat)-1]
+		p50, p99, max := percentile(rlat, 0.50), percentile(rlat, 0.99), rlat[len(rlat)-1]
+		res.ReloadP50Ns, res.ReloadP99Ns, res.ReloadMaxNs = &p50, &p99, &max
 	}
 	if err != nil {
 		return res, err

@@ -23,24 +23,54 @@ func writeDist(buf *bytes.Buffer, d float64) {
 	buf.WriteString(strconv.FormatFloat(d, 'g', -1, 64))
 }
 
-// handleQuery answers GET /query?u=&v= with one distance:
-//
-//	{"u":3,"v":9,"dist":4.25,"ns":810}
-//
-// dist is null when v is unreachable from u or either ID is out of range.
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		s.fail(w, http.StatusMethodNotAllowed, "GET only")
-		return
-	}
+// parseVertexPair reads integer u and v query parameters. It reports
+// ok=false after writing the 400 response itself, so handlers just
+// return. Range validation happens against the leased image, not here —
+// the image (and so the valid ID range) can change across reloads.
+func (s *Server) parseVertexPair(w http.ResponseWriter, r *http.Request) (u, v int, ok bool) {
 	q := r.URL.Query()
 	u, errU := strconv.Atoi(q.Get("u"))
 	v, errV := strconv.Atoi(q.Get("v"))
 	if errU != nil || errV != nil {
 		s.fail(w, http.StatusBadRequest, "u and v must be integer vertex IDs")
+		return 0, 0, false
+	}
+	return u, v, true
+}
+
+// rejectOutOfRange writes the 400 response for vertex IDs outside
+// [0, n) and reports whether it did.
+func (s *Server) rejectOutOfRange(w http.ResponseWriter, u, v, n int) bool {
+	if u < 0 || v < 0 || u >= n || v >= n {
+		s.fail(w, http.StatusBadRequest,
+			"vertex IDs must be in [0, "+strconv.Itoa(n)+"): got u="+strconv.Itoa(u)+" v="+strconv.Itoa(v))
+		return true
+	}
+	return false
+}
+
+// handleQuery answers GET /query?u=&v= with one distance:
+//
+//	{"u":3,"v":9,"dist":4.25,"ns":810}
+//
+// dist is null when v is unreachable from u. Non-integer or out-of-range
+// IDs are client errors (400), not null distances: an ID outside the
+// image is a malformed request, and answering it with a 200 hides caller
+// bugs.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	u, v, ok := s.parseVertexPair(w, r)
+	if !ok {
 		return
 	}
 	im := s.acquire()
+	if s.rejectOutOfRange(w, u, v, im.flat.N()) {
+		s.release(im)
+		return
+	}
 	start := time.Now()
 	d := im.flat.Query(u, v)
 	ns := time.Since(start).Nanoseconds()
@@ -70,7 +100,11 @@ type batchRequest struct {
 //
 //	{"pairs":[[0,5],[3,9]]}  ->  {"n":2,"dists":[1.5,null]}
 //
-// dists align with pairs; null marks unreachable/out-of-range pairs.
+// dists align with pairs; null marks unreachable pairs. A pair with an
+// out-of-range vertex ID rejects the whole batch with a 400 naming the
+// offending index — the structured endpoint reports caller bugs instead
+// of papering over them (the binary endpoint keeps the +Inf convention
+// for bulk traffic).
 func (s *Server) handleBatchJSON(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		s.fail(w, http.StatusMethodNotAllowed, "POST only")
@@ -95,10 +129,21 @@ func (s *Server) handleBatchJSON(w http.ResponseWriter, r *http.Request) {
 	for i, p := range req.Pairs {
 		pairs[i] = oracle.Pair{U: p[0], V: p[1]}
 	}
-	dists := s.getDists(len(pairs))
-	// One lease for the whole batch: every distance in this response
-	// comes from a single image generation, even mid-reload.
+	// One lease for the whole batch: validation and every distance in
+	// this response come from a single image generation, even mid-reload.
 	im := s.acquire()
+	n := int32(im.flat.N())
+	for i, p := range pairs {
+		if p.U < 0 || p.V < 0 || p.U >= n || p.V >= n {
+			s.release(im)
+			s.putPairs(pairs)
+			s.fail(w, http.StatusBadRequest,
+				"pair "+strconv.Itoa(i)+" ["+strconv.Itoa(int(p.U))+","+strconv.Itoa(int(p.V))+
+					"] out of range: vertex IDs must be in [0, "+strconv.Itoa(int(n))+")")
+			return
+		}
+	}
+	dists := s.getDists(len(pairs))
 	dists = im.flat.QueryBatchWorkers(pairs, dists, s.workers)
 	s.release(im)
 	s.batches.Inc()
@@ -163,6 +208,70 @@ func (s *Server) handleBatchBin(w http.ResponseWriter, r *http.Request) {
 	s.putPairs(pairs)
 	s.putDists(dists)
 	s.putBytes(out)
+}
+
+// handleQueryPath answers GET /query/path?u=&v= with the approximate
+// distance and a witness walk realizing it:
+//
+//	{"u":3,"v":9,"dist":4.25,"len":5,"path":[3,7,2,8,9],"ns":2100}
+//
+// dist is null and path empty when v is unreachable from u. Non-integer
+// or out-of-range IDs are 400s (as on /query); a distance-only image —
+// a v1 reload can land mid-flight — answers 409, telling the caller the
+// resource cannot satisfy path requests rather than blaming the request.
+func (s *Server) handleQueryPath(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	u, v, ok := s.parseVertexPair(w, r)
+	if !ok {
+		return
+	}
+	im := s.acquire()
+	if s.rejectOutOfRange(w, u, v, im.flat.N()) {
+		s.release(im)
+		return
+	}
+	if !im.flat.PathReporting() {
+		s.release(im)
+		s.fail(w, http.StatusConflict, "serving image is distance-only: no path data (wire format v1)")
+		return
+	}
+	buf := s.getPath()
+	start := time.Now()
+	d, buf, err := im.flat.QueryPath(u, v, buf)
+	ns := time.Since(start).Nanoseconds()
+	s.release(im)
+	if err != nil {
+		s.putPath(buf)
+		s.fail(w, http.StatusInternalServerError, "path walk: "+err.Error())
+		return
+	}
+	s.queries.Inc()
+
+	var out bytes.Buffer
+	out.WriteString(`{"u":`)
+	out.WriteString(strconv.Itoa(u))
+	out.WriteString(`,"v":`)
+	out.WriteString(strconv.Itoa(v))
+	out.WriteString(`,"dist":`)
+	writeDist(&out, d)
+	out.WriteString(`,"len":`)
+	out.WriteString(strconv.Itoa(len(buf)))
+	out.WriteString(`,"path":[`)
+	for i, w := range buf {
+		if i > 0 {
+			out.WriteByte(',')
+		}
+		out.WriteString(strconv.FormatInt(int64(w), 10))
+	}
+	out.WriteString(`],"ns":`)
+	out.WriteString(strconv.FormatInt(ns, 10))
+	out.WriteString("}\n")
+	s.putPath(buf)
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_, _ = w.Write(out.Bytes())
 }
 
 // decodePairs parses len(dst) little-endian (uint32, uint32) pairs from

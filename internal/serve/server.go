@@ -3,6 +3,8 @@
 // immutable image and exposes:
 //
 //	GET  /query?u=&v=      one distance query, JSON
+//	GET  /query/path?u=&v= distance plus witness path, JSON (path-reporting
+//	                       images; distance-only images answer 409)
 //	POST /query/batch      JSON batch: {"pairs":[[u,v],...]} -> {"dists":[...]}
 //	POST /query/batchbin   binary batch: LE uint32 pairs in, LE float64 out
 //	GET  /admin/status     image metadata, serving stats, slow-query
@@ -96,6 +98,7 @@ type Server struct {
 	pairBufs sync.Pool // *[]oracle.Pair
 	distBufs sync.Pool // *[]float64
 	byteBufs sync.Pool // *[]byte
+	pathBufs sync.Pool // *[]int32
 }
 
 // New wires a Server over cfg.Flat. The flat image gains the registry's
@@ -147,6 +150,7 @@ func New(cfg Config) (*Server, error) {
 
 	s.mux = http.NewServeMux()
 	s.mux.Handle("/query", s.track(http.HandlerFunc(s.handleQuery)))
+	s.mux.Handle("/query/path", s.track(http.HandlerFunc(s.handleQueryPath)))
 	s.mux.Handle("/query/batch", s.track(http.HandlerFunc(s.handleBatchJSON)))
 	s.mux.Handle("/query/batchbin", s.track(http.HandlerFunc(s.handleBatchBin)))
 	s.mux.HandleFunc("/admin/status", s.handleStatus)
@@ -251,3 +255,14 @@ func (s *Server) getBytes(n int) []byte {
 }
 
 func (s *Server) putBytes(p []byte) { s.byteBufs.Put(&p) }
+
+// getPath returns a pooled path-vertex buffer (empty, any capacity —
+// Flat.QueryPath appends into it).
+func (s *Server) getPath() []int32 {
+	if p, ok := s.pathBufs.Get().(*[]int32); ok {
+		return (*p)[:0]
+	}
+	return nil
+}
+
+func (s *Server) putPath(p []int32) { s.pathBufs.Put(&p) }

@@ -87,15 +87,16 @@ func TestQueryEndpoint(t *testing.T) {
 		t.Fatalf("negative latency %d", got.Ns)
 	}
 
-	// Out-of-range vertex: +Inf surfaces as null, not a JSON error.
+	// Out-of-range vertex: a 400 naming the valid range, not a silent
+	// null distance.
 	resp2, err := http.Get(ts.URL + "/query?u=0&v=99999")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp2.Body.Close()
 	body, _ := io.ReadAll(resp2.Body)
-	if resp2.StatusCode != http.StatusOK || !strings.Contains(string(body), `"dist":null`) {
-		t.Fatalf("out-of-range: status=%d body=%s", resp2.StatusCode, body)
+	if resp2.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "[0, 144)") {
+		t.Fatalf("out-of-range: status=%d body=%s, want 400 naming [0, 144)", resp2.StatusCode, body)
 	}
 
 	// Malformed arguments are a 400.
@@ -112,7 +113,7 @@ func TestQueryEndpoint(t *testing.T) {
 
 func TestBatchJSONEndpoint(t *testing.T) {
 	_, ts, fl := newTestServer(t, Config{})
-	req := `{"pairs":[[0,5],[3,9],[7,7],[0,99999]]}`
+	req := `{"pairs":[[0,5],[3,9],[7,7]]}`
 	resp, err := http.Post(ts.URL+"/query/batch", "application/json", strings.NewReader(req))
 	if err != nil {
 		t.Fatal(err)
@@ -129,19 +130,30 @@ func TestBatchJSONEndpoint(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
 		t.Fatal(err)
 	}
-	if got.N != 4 || len(got.Dists) != 4 {
-		t.Fatalf("n=%d len=%d, want 4/4", got.N, len(got.Dists))
+	if got.N != 3 || len(got.Dists) != 3 {
+		t.Fatalf("n=%d len=%d, want 3/3", got.N, len(got.Dists))
 	}
-	for i, pair := range [][2]int{{0, 5}, {3, 9}, {7, 7}, {0, 99999}} {
+	for i, pair := range [][2]int{{0, 5}, {3, 9}, {7, 7}} {
 		want := fl.Query(pair[0], pair[1])
-		if math.IsInf(want, 1) {
-			if got.Dists[i] != nil {
-				t.Errorf("pair %d: got %v, want null", i, *got.Dists[i])
-			}
-			continue
-		}
 		if got.Dists[i] == nil || *got.Dists[i] != want {
 			t.Errorf("pair %d: got %v, want %v", i, got.Dists[i], want)
+		}
+	}
+
+	// A batch with an out-of-range ID is rejected whole, with a 400
+	// naming the offending index.
+	for _, bad := range []string{
+		`{"pairs":[[0,5],[3,9],[7,7],[0,99999]]}`,
+		`{"pairs":[[0,5],[3,9],[7,7],[-2,1]]}`,
+	} {
+		resp, err := http.Post(ts.URL+"/query/batch", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "pair 3") {
+			t.Fatalf("out-of-range batch: status=%d body=%s, want 400 naming pair 3", resp.StatusCode, body)
 		}
 	}
 }
@@ -230,6 +242,9 @@ func TestAdminStatus(t *testing.T) {
 	}
 	if st.Image.N != fl.N() || st.Image.Bytes != fl.EncodedSize() || st.Image.Mode != "portal" {
 		t.Fatalf("image metadata wrong: %+v", st.Image)
+	}
+	if st.Image.PathReporting != fl.PathReporting() {
+		t.Fatalf("path_reporting = %v, image says %v", st.Image.PathReporting, fl.PathReporting())
 	}
 	if st.Serving.Queries != 5 {
 		t.Fatalf("queries = %d, want 5", st.Serving.Queries)
@@ -371,6 +386,180 @@ func TestDrainInFlightCompletes(t *testing.T) {
 	}
 	if err := <-shutDone; err != nil {
 		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+// TestQueryValidationContract pins the status-code contract of the GET
+// query endpoints: 200 only for well-formed in-range requests, 400 for
+// anything non-integer, negative, or out of range — never a 500, never a
+// silent null.
+func TestQueryValidationContract(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{}) // n = 144
+	cases := []struct {
+		name string
+		url  string
+		want int
+	}{
+		{"ok", "/query?u=0&v=17", http.StatusOK},
+		{"self", "/query?u=7&v=7", http.StatusOK},
+		{"missing-args", "/query", http.StatusBadRequest},
+		{"non-integer-u", "/query?u=zero&v=1", http.StatusBadRequest},
+		{"float-v", "/query?u=1&v=1.5", http.StatusBadRequest},
+		{"negative-u", "/query?u=-1&v=3", http.StatusBadRequest},
+		{"negative-v", "/query?u=3&v=-2", http.StatusBadRequest},
+		{"u-at-n", "/query?u=144&v=0", http.StatusBadRequest},
+		{"v-past-n", "/query?u=0&v=99999", http.StatusBadRequest},
+		{"path-ok", "/query/path?u=0&v=17", http.StatusOK},
+		{"path-self", "/query/path?u=7&v=7", http.StatusOK},
+		{"path-missing-args", "/query/path", http.StatusBadRequest},
+		{"path-non-integer", "/query/path?u=x&v=1", http.StatusBadRequest},
+		{"path-negative", "/query/path?u=-5&v=1", http.StatusBadRequest},
+		{"path-past-n", "/query/path?u=0&v=144", http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Get(ts.URL + tc.url)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("GET %s: status=%d body=%s, want %d", tc.url, resp.StatusCode, body, tc.want)
+			}
+		})
+	}
+}
+
+// distanceOnlyFlat rewrites fl's v2 encoding into the equivalent v1
+// (distance-only) image: same header fields minus the path-vertex count,
+// same keys-through-portals sections shifted down 8 bytes, path sections
+// dropped. Every section keeps its alignment (the 8-byte header delta
+// preserves residues mod 8), so this is a byte-exact v1 image of the
+// same oracle.
+func distanceOnlyFlat(tb testing.TB, fl *oracle.Flat) *oracle.Flat {
+	tb.Helper()
+	enc := fl.Encode()
+	if enc[1] != 2 {
+		tb.Fatalf("expected a v2 image, got version %d", enc[1])
+	}
+	le := binary.LittleEndian
+	n := int(le.Uint64(enc[8:]))
+	numKeys := int(le.Uint64(enc[32:]))
+	numEntries := int(le.Uint64(enc[40:]))
+	numPortals := int(le.Uint64(enc[48:]))
+	end := 64 + 8*numKeys + 4*(n+1) + 4*numEntries + 4*(numEntries+1)
+	portalsEnd := (end+7)&^7 + 16*numPortals
+	v1 := make([]byte, 0, portalsEnd-8)
+	v1 = append(v1, enc[:56]...)
+	v1 = append(v1, enc[64:portalsEnd]...)
+	v1[1] = 1
+	out, err := oracle.DecodeFlat(v1)
+	if err != nil {
+		tb.Fatalf("synthesized v1 image does not decode: %v", err)
+	}
+	return out
+}
+
+func TestQueryPathEndpoint(t *testing.T) {
+	_, ts, fl := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/query/path?u=0&v=17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var got struct {
+		U    int      `json:"u"`
+		V    int      `json:"v"`
+		Dist *float64 `json:"dist"`
+		Len  int      `json:"len"`
+		Path []int32  `json:"path"`
+		Ns   int64    `json:"ns"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	wantDist, wantPath, err := fl.QueryPath(0, 17, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.U != 0 || got.V != 17 || got.Dist == nil || *got.Dist != wantDist {
+		t.Fatalf("got %+v, want dist %v", got, wantDist)
+	}
+	if got.Len != len(got.Path) || len(got.Path) != len(wantPath) {
+		t.Fatalf("len=%d path=%v, want %v", got.Len, got.Path, wantPath)
+	}
+	for i := range wantPath {
+		if got.Path[i] != wantPath[i] {
+			t.Fatalf("path[%d] = %d, want %d", i, got.Path[i], wantPath[i])
+		}
+	}
+	if got.Path[0] != 0 || got.Path[len(got.Path)-1] != 17 {
+		t.Fatalf("path endpoints %v", got.Path)
+	}
+
+	// Repeat queries exercise the pooled path buffers.
+	for i := 0; i < 10; i++ {
+		resp, err := http.Get(ts.URL + "/query/path?u=3&v=140")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("pooled query %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	// A distance-only (v1) image answers /query/path with 409 Conflict
+	// and keeps /query working.
+	_, ts2, _ := newTestServer(t, Config{Flat: distanceOnlyFlat(t, fl)})
+	resp2, err := http.Get(ts2.URL + "/query/path?u=0&v=17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusConflict || !strings.Contains(string(body), "distance-only") {
+		t.Fatalf("distance-only image: status=%d body=%s, want 409", resp2.StatusCode, body)
+	}
+	resp3, err := http.Get(ts2.URL + "/query?u=0&v=17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp3.Body)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("distance query on v1 image: status %d", resp3.StatusCode)
+	}
+}
+
+// TestBenchResultReloadKeysOmitted pins the JSON shape of BenchResult:
+// a run without successful reloads must not write reload percentile keys
+// at all, and a run with reloads must write all three.
+func TestBenchResultReloadKeysOmitted(t *testing.T) {
+	b, err := json.Marshal(BenchResult{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"reload_p50_ns", "reload_p99_ns", "reload_max_ns", "reloads"} {
+		if strings.Contains(string(b), key) {
+			t.Errorf("zero-reload result leaks %q: %s", key, b)
+		}
+	}
+	p50, p99, max := int64(0), int64(7), int64(9)
+	withReloads, err := json.Marshal(BenchResult{Reloads: 1, ReloadP50Ns: &p50, ReloadP99Ns: &p99, ReloadMaxNs: &max})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A measured 0 still serializes — absence means unmeasured, not zero.
+	for _, want := range []string{`"reload_p50_ns":0`, `"reload_p99_ns":7`, `"reload_max_ns":9`} {
+		if !strings.Contains(string(withReloads), want) {
+			t.Errorf("reload result missing %s: %s", want, withReloads)
+		}
 	}
 }
 

@@ -99,6 +99,101 @@ func BidirectionalStats(g *graph.Graph, s, t int) (float64, int) {
 	return best, settled
 }
 
+// BidirectionalPath is Bidirectional plus the witness: it returns the
+// shortest s-t distance and one shortest path realizing it (s first, t
+// last). s == t yields (0, [s]); a disconnected pair yields (+Inf, nil).
+// It is the ground truth the path-reporting differential tests compare
+// oracle-reported walks against.
+func BidirectionalPath(g *graph.Graph, s, t int) (float64, []int) {
+	if s == t {
+		return 0, []int{s}
+	}
+	n := g.N()
+	distF := make([]float64, n)
+	distB := make([]float64, n)
+	parentF := make([]int, n)
+	parentB := make([]int, n)
+	for i := 0; i < n; i++ {
+		distF[i] = math.Inf(1)
+		distB[i] = math.Inf(1)
+		parentF[i] = -1
+		parentB[i] = -1
+	}
+	distF[s], distB[t] = 0, 0
+	pqF, pqB := pqueue.New(n), pqueue.New(n)
+	pqF.Push(s, 0)
+	pqB.Push(t, 0)
+	doneF := make([]bool, n)
+	doneB := make([]bool, n)
+	best := math.Inf(1)
+	meet := -1
+
+	expand := func(pq *pqueue.PQ, dist, other []float64, parent []int, done []bool) {
+		v, dv := pq.Pop()
+		if done[v] {
+			return
+		}
+		if dv >= best {
+			done[v] = true
+			return
+		}
+		done[v] = true
+		if !math.IsInf(other[v], 1) && dv+other[v] < best {
+			best = dv + other[v]
+			meet = v
+		}
+		for _, h := range g.Neighbors(v) {
+			nd := dv + h.W
+			if nd >= best {
+				continue
+			}
+			if nd < dist[h.To] {
+				dist[h.To] = nd
+				parent[h.To] = v
+				pq.Push(h.To, nd)
+				if !math.IsInf(other[h.To], 1) && nd+other[h.To] < best {
+					best = nd + other[h.To]
+					meet = h.To
+				}
+			}
+		}
+	}
+
+	for pqF.Len() > 0 || pqB.Len() > 0 {
+		topF, topB := math.Inf(1), math.Inf(1)
+		if pqF.Len() > 0 {
+			_, topF = peek(pqF)
+		}
+		if pqB.Len() > 0 {
+			_, topB = peek(pqB)
+		}
+		if topF+topB >= best {
+			break
+		}
+		if topF <= topB {
+			expand(pqF, distF, distB, parentF, doneF)
+		} else {
+			expand(pqB, distB, distF, parentB, doneB)
+		}
+	}
+	if meet < 0 {
+		return math.Inf(1), nil
+	}
+	// Forward half s..meet (built backwards, then reversed), then the
+	// backward half meet..t straight off parentB.
+	var path []int
+	for v := meet; v >= 0; v = parentF[v] {
+		path = append(path, v)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	for v := parentB[meet]; v >= 0; v = parentB[v] {
+		path = append(path, v)
+	}
+	return best, path
+}
+
 // peek returns the minimum item without removing it.
 func peek(pq *pqueue.PQ) (int, float64) {
 	item, key := pq.Pop()

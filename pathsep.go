@@ -117,7 +117,10 @@ type Decomposition = core.Tree
 // Separator is a k-path separator (Definition 1 of the paper).
 type Separator = core.Separator
 
-// Oracle is the Theorem 2 (1+ε)-approximate distance oracle.
+// Oracle is the Theorem 2 (1+ε)-approximate distance oracle. Besides
+// distances (Query), it reports witness paths: QueryPath(u, v, buf)
+// returns a u-to-v walk whose weight is exactly the reported distance,
+// assembled from the per-portal parent links recorded at build time.
 type Oracle = oracle.Oracle
 
 // Label is a vertex's distance label (the distributed form of the oracle).
@@ -129,8 +132,17 @@ type Label = oracle.Label
 // Oracle.Freeze(); queries are goroutine-safe, allocation-free and
 // bit-identical to the pointer form. FlatOracle.QueryBatch answers a
 // slice of pairs into a caller-owned buffer, fanning out over the worker
-// pool.
+// pool. FlatOracle.QueryPath / QueryPathBatch report witness paths into
+// caller buffers (allocation-free once the buffers are warm) when the
+// image carries path records; distance-only images (wire format v1)
+// answer ErrNoPathData.
 type FlatOracle = oracle.Flat
+
+// ErrNoPathData is answered by FlatOracle.QueryPath when the decoded
+// image is distance-only (wire format v1, or a pointer oracle built
+// before path reporting): distances still work, witness paths are not
+// recorded. Test with errors.Is.
+var ErrNoPathData = oracle.ErrNoPathData
 
 // QueryPair is one (U, V) query of a FlatOracle batch.
 type QueryPair = oracle.Pair
