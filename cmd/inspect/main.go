@@ -5,9 +5,14 @@
 // Usage:
 //
 //	gengraph -family apollonian -n 60 | inspect -maxdepth 3
+//	inspect -image oracle.img
 //
 // -mode pins the separator strategy (auto|tree|bag|planar|greedy; unknown
-// values are rejected) and -workers bounds the construction pool.
+// values are rejected) and -workers bounds the construction pool. With
+// -image the input is a flat oracle image instead of a graph, and the
+// report covers the serving layout: sweep-lane pool sizes, alignment,
+// and the per-entry portal-run length distribution that drives merge
+// sweep cost.
 package main
 
 import (
@@ -15,19 +20,29 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"pathsep/internal/core"
 	"pathsep/internal/graph"
+	"pathsep/internal/oracle"
 )
 
 func main() {
 	in := flag.String("in", "", "input file (default stdin)")
+	image := flag.String("image", "", "inspect a flat oracle image file instead of a graph")
 	maxDepth := flag.Int("maxdepth", 4, "deepest level to print (-1 = all)")
 	showPaths := flag.Bool("paths", true, "print the separator paths")
 	mode := flag.String("mode", "auto", "decomposition strategy: auto|tree|bag|planar|greedy")
 	workers := flag.Int("workers", 0, "construction worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
+
+	if *image != "" {
+		if err := inspectImage(*image); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	// Validate -mode up front, the same way cmd/oracle validates its mode:
 	// an unknown value is a usage error, not a silent fallback to auto.
@@ -102,6 +117,70 @@ func main() {
 	if *maxDepth >= 0 && dec.Depth > *maxDepth {
 		fmt.Printf("\n(levels below %d elided; pass -maxdepth -1 for all)\n", *maxDepth)
 	}
+}
+
+// inspectImage reports the serving layout of a flat oracle image: header
+// metadata, pool sizes (wire portal pool vs the derived sweep lanes the
+// queries actually walk), lane alignment, and the per-entry portal-run
+// length distribution — short runs are one-candidate sweeps, long runs
+// are where the suffix-min fold and the batch scheduler earn their keep.
+func inspectImage(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	fl, err := oracle.DecodeFlat(buf)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("flat image %s: n=%d eps=%g mode=%s path_reporting=%v\n",
+		path, fl.N(), fl.Eps(), fl.Mode(), fl.PathReporting())
+	fmt.Printf("  keys=%d entries=%d portals=%d encoded=%d B\n",
+		fl.NumKeys(), fl.NumEntries(), fl.NumPortals(), fl.EncodedSize())
+	fmt.Printf("  portal pool %d B (wire AoS), sweep lanes %d B (derived), lane pool 64B-aligned: %v\n",
+		16*fl.NumPortals(), fl.LaneBytes(), fl.LaneAligned())
+
+	runs := fl.PortalRunLengths(nil)
+	if len(runs) == 0 {
+		fmt.Println("  no portal runs")
+		return nil
+	}
+	sort.Ints(runs)
+	total := 0
+	for _, r := range runs {
+		total += r
+	}
+	fmt.Printf("  portal runs: %d, min=%d p50=%d p90=%d p99=%d max=%d mean=%.2f\n",
+		len(runs), runs[0], runs[len(runs)/2], runs[len(runs)*9/10],
+		runs[len(runs)*99/100], runs[len(runs)-1], float64(total)/float64(len(runs)))
+
+	// Length histogram in power-of-two bins: count and share of all
+	// portal slots (i.e. of sweep work), so a few huge runs are visible
+	// even when short runs dominate the count.
+	type bin struct{ count, slots int }
+	bins := map[int]*bin{}
+	for _, r := range runs {
+		b := 1
+		for b < r {
+			b <<= 1
+		}
+		if bins[b] == nil {
+			bins[b] = &bin{}
+		}
+		bins[b].count++
+		bins[b].slots += r
+	}
+	bounds := make([]int, 0, len(bins))
+	for b := range bins {
+		bounds = append(bounds, b)
+	}
+	sort.Ints(bounds)
+	fmt.Println("  run-length distribution (run ≤ bound: runs, share of portal slots):")
+	for _, b := range bounds {
+		fmt.Printf("    ≤%4d: %7d runs  %5.1f%% of slots\n",
+			b, bins[b].count, 100*float64(bins[b].slots)/float64(total))
+	}
+	return nil
 }
 
 func fail(err error) {

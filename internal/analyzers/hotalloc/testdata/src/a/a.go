@@ -51,3 +51,36 @@ func cold(xs []int) {
 	sink(42)
 	_ = xs
 }
+
+func consume(window []int32) {}
+
+// okWindow is the two-phase merge idiom from the flat query path: a
+// fixed-size stack array buffers matches and is re-sliced per flush.
+// Array variables and slicing them never allocate, so the tagged
+// function stays clean.
+//
+//pathsep:hotpath
+func okWindow(keys []int32) int32 {
+	var mA, mB [16]int32
+	nm := 0
+	best := int32(0)
+	for _, k := range keys {
+		if nm == len(mA) {
+			consume(mA[:nm])
+			consume(mB[:nm])
+			nm = 0
+		}
+		mA[nm], mB[nm] = k, k+1
+		nm++
+		if k > best {
+			best = k
+		}
+	}
+	consume(mA[:nm])
+	var sched [8]uint64
+	scratch := sched[:]
+	for x := range scratch {
+		scratch[x] = uint64(best)
+	}
+	return best + int32(scratch[0])
+}

@@ -116,3 +116,41 @@ func goodFork(p *par.Pool) (int, int) {
 	)
 	return a, b
 }
+
+// goodScheduledScatter mirrors the flat batch scheduler: each task
+// reorders its own window through a task-local schedule, then scatters
+// answers back to slots derived from the task index. Visiting order is
+// task-private; slot ownership still partitions by task, so the shape
+// is sanctioned.
+func goodScheduledScatter(p *par.Pool, in []int, chunk int) []int {
+	out := make([]int, len(in))
+	n := (len(in) + chunk - 1) / chunk
+	p.ForEach(n, func(c int) {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > len(in) {
+			hi = len(in)
+		}
+		var sched [16]int
+		s := sched[:hi-lo]
+		for x := range s {
+			s[x] = (x * 7) % len(s) // locality order stub
+		}
+		for _, rec := range s {
+			i := lo + rec
+			out[i] = in[i] * 2
+		}
+	})
+	return out
+}
+
+// badCapturedOffset scatters through an offset captured from outside the
+// task: nothing ties the written slot to the task index, so two tasks
+// may collide.
+func badCapturedOffset(p *par.Pool, in []int, off int) []int {
+	out := make([]int, len(in)+1)
+	p.ForEach(len(in), func(i int) {
+		out[off] = in[i] // want `write to captured out is not indexed by the task index`
+	})
+	return out
+}

@@ -24,6 +24,12 @@ func promTestRegistry() *Registry {
 	h.Observe(3)
 	h.Observe(1000)
 	h.Observe(math.Inf(1)) // overflow bucket: must fold into +Inf
+	// The per-query portal-work histogram the flat oracle observes; the
+	// golden pins its exposed name and bucket series.
+	p := r.Histogram("oracle.query_portals")
+	p.Observe(0)
+	p.Observe(68)
+	p.Observe(68)
 	r.Histogram("oracle.empty_hist")
 	return r
 }

@@ -26,6 +26,14 @@ type ImageStatus struct {
 	NumEntries int     `json:"num_entries"`
 	NumPortals int     `json:"num_portals"`
 	Bytes      int     `json:"bytes"`
+	// PortalPoolBytes is the wire-format portal pool (16 B AoS records);
+	// SweepLaneBytes is the derived query-time lane pool the merge sweep
+	// actually walks, and LaneAligned reports whether that pool starts on
+	// a 64-byte cache-line boundary (the layout Freeze/DecodeFlat aim
+	// for; false only under exotic allocator behavior).
+	PortalPoolBytes int  `json:"portal_pool_bytes"`
+	SweepLaneBytes  int  `json:"sweep_lane_bytes"`
+	LaneAligned     bool `json:"lane_aligned"`
 	// PathReporting reports whether the image answers /query/path (wire
 	// format v2); distance-only v1 images serve distances only.
 	PathReporting bool `json:"path_reporting"`
@@ -93,9 +101,12 @@ func (s *Server) status() Status {
 			Mode:       im.flat.Mode().String(),
 			NumKeys:    im.flat.NumKeys(),
 			NumEntries: im.flat.NumEntries(),
-			NumPortals:    im.flat.NumPortals(),
-			Bytes:         im.bytes,
-			PathReporting: im.flat.PathReporting(),
+			NumPortals:      im.flat.NumPortals(),
+			Bytes:           im.bytes,
+			PortalPoolBytes: 16 * im.flat.NumPortals(),
+			SweepLaneBytes:  im.flat.LaneBytes(),
+			LaneAligned:     im.flat.LaneAligned(),
+			PathReporting:   im.flat.PathReporting(),
 		},
 		Serving: ServingStatus{
 			Inflight:     s.inflight.Load(),

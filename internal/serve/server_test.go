@@ -246,6 +246,13 @@ func TestAdminStatus(t *testing.T) {
 	if st.Image.PathReporting != fl.PathReporting() {
 		t.Fatalf("path_reporting = %v, image says %v", st.Image.PathReporting, fl.PathReporting())
 	}
+	if st.Image.PortalPoolBytes != 16*fl.NumPortals() || st.Image.SweepLaneBytes != fl.LaneBytes() {
+		t.Fatalf("pool sizing wrong: %+v (want portal pool %d, lanes %d)",
+			st.Image, 16*fl.NumPortals(), fl.LaneBytes())
+	}
+	if st.Image.LaneAligned != fl.LaneAligned() {
+		t.Fatalf("lane_aligned = %v, image says %v", st.Image.LaneAligned, fl.LaneAligned())
+	}
 	if st.Serving.Queries != 5 {
 		t.Fatalf("queries = %d, want 5", st.Serving.Queries)
 	}
@@ -283,6 +290,9 @@ func TestMetricsEndpoint(t *testing.T) {
 		"pathsep_serve_queries 1\n",
 		"# TYPE pathsep_oracle_query_ns histogram\n",
 		`pathsep_oracle_query_ns_bucket{le="+Inf"} 1` + "\n",
+		"# TYPE pathsep_oracle_query_portals histogram\n",
+		`pathsep_oracle_query_portals_bucket{le="+Inf"} 1` + "\n",
+		"pathsep_oracle_query_portals_count 1\n",
 		"# TYPE pathsep_go_goroutines gauge\n",
 		"pathsep_oracle_flat_bytes ",
 	} {
