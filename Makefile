@@ -20,7 +20,7 @@ FUZZMINTIME ?= 50x
 LINT_BIN := bin/pathsep-lint
 LINT_SRC := $(wildcard cmd/pathsep-lint/*.go internal/analyzers/*.go internal/analyzers/*/*.go)
 
-.PHONY: check test vet lint lint-json determinism fuzz-short build race bench-overhead bench-obs bench-parallel bench-query bench-path bench-serve
+.PHONY: check test vet lint lint-json lint-stats determinism fuzz-short build race bench-overhead bench-obs bench-parallel bench-query bench-path bench-serve
 
 check: vet lint build race determinism fuzz-short bench-overhead bench-parallel bench-query bench-path bench-serve
 
@@ -40,9 +40,20 @@ lint: $(LINT_BIN)
 	$(GO) vet -vettool=$(LINT_BIN) ./...
 
 # Machine-readable lint: one JSON diagnostic per line (plus ::error
-# annotations under GITHUB_ACTIONS). CI uses this form.
+# annotations under GITHUB_ACTIONS). CI uses this form; the NDJSON
+# stream is mirrored to LINT_findings.ndjson (created even when clean),
+# which CI uploads as an artifact alongside the BENCH_*.json set.
 lint-json: $(LINT_BIN)
-	./$(LINT_BIN) -json ./...
+	./$(LINT_BIN) -json -out=LINT_findings.ndjson ./...
+
+# Per-analyzer finding and suppression counts: the findings come from
+# the same vet run as lint-json; suppressions are the exception-granting
+# directives (//pathsep:detached, //pathsep:lease-bypass, the
+# writes=views grant) counted in non-test library sources. Rising
+# suppressions with flat findings means exceptions are doing an
+# analyzer's job — worth a look in review.
+lint-stats: $(LINT_BIN)
+	./$(LINT_BIN) -stats ./...
 
 build:
 	$(GO) build ./...

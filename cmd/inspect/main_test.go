@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/binary"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pathsep/internal/core"
+	"pathsep/internal/embed"
+	"pathsep/internal/graph"
+	"pathsep/internal/oracle"
+)
+
+// buildImage freezes a small grid oracle and returns its v2 encoding.
+func buildImage(t *testing.T) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	r := embed.Grid(8, 8, graph.UniformWeights(1, 4), rng)
+	dec, err := core.Decompose(r.G, core.Options{Strategy: core.Auto{}, Rot: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := oracle.Build(dec, oracle.Options{Epsilon: 0.5, Mode: oracle.CoverPortal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := o.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fl.Encode()
+}
+
+// toV1 rewrites a v2 encoding into the equivalent distance-only v1
+// image: drop the path-vertex header field (8 bytes) and the path
+// sections; all residues mod 8 are preserved, so the result decodes.
+func toV1(t *testing.T, enc []byte) []byte {
+	t.Helper()
+	if enc[1] != 2 {
+		t.Fatalf("expected a v2 image, got version %d", enc[1])
+	}
+	le := binary.LittleEndian
+	n := int(le.Uint64(enc[8:]))
+	numKeys := int(le.Uint64(enc[32:]))
+	numEntries := int(le.Uint64(enc[40:]))
+	numPortals := int(le.Uint64(enc[48:]))
+	end := 64 + 8*numKeys + 4*(n+1) + 4*numEntries + 4*(numEntries+1)
+	portalsEnd := (end+7)&^7 + 16*numPortals
+	v1 := make([]byte, 0, portalsEnd-8)
+	v1 = append(v1, enc[:56]...)
+	v1 = append(v1, enc[64:portalsEnd]...)
+	v1[1] = 1
+	return v1
+}
+
+// runInspect captures inspectImage's stdout for one image file.
+func runInspect(t *testing.T, img []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "image.bin")
+	if err := os.WriteFile(path, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rd, wr, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := os.Stdout
+	os.Stdout = wr
+	inspectErr := inspectImage(path)
+	os.Stdout = saved
+	wr.Close()
+	out, _ := io.ReadAll(rd)
+	rd.Close()
+	if inspectErr != nil {
+		t.Fatalf("inspectImage: %v\n%s", inspectErr, out)
+	}
+	return string(out)
+}
+
+// TestInspectImagePathSections checks the path-section report: byte
+// counts on a v2 image, `absent` markers (mirroring /query/path's 409
+// semantics) on the synthesized v1 image of the same oracle.
+func TestInspectImagePathSections(t *testing.T) {
+	v2 := buildImage(t)
+
+	out2 := runInspect(t, v2)
+	if !strings.Contains(out2, "path sections (wire v2): hops=") {
+		t.Errorf("v2 inspect missing path-section sizes:\n%s", out2)
+	}
+	if strings.Contains(out2, "absent") {
+		t.Errorf("v2 inspect reports absent sections:\n%s", out2)
+	}
+
+	out1 := runInspect(t, toV1(t, v2))
+	for _, sec := range []string{"hops=absent", "path_off=absent", "path_vert=absent", "path_pos=absent"} {
+		if !strings.Contains(out1, sec) {
+			t.Errorf("v1 inspect missing %q:\n%s", sec, out1)
+		}
+	}
+	if !strings.Contains(out1, "409") {
+		t.Errorf("v1 inspect does not mention the 409 semantics:\n%s", out1)
+	}
+}

@@ -20,13 +20,26 @@
 //     use-after-Put and no foreign or cross-pool Put
 //   - ctxdone:     serving-plane goroutines are tied to a shutdown signal
 //     or carry an explicit //pathsep:detached
+//   - leasepair:   //pathsep:lease acquire/release pairs close on every
+//     path, with no use-after-release, one generation per response, and
+//     no raw atomic access to the leased pointer
+//   - unsafeview:  unsafe.Slice image views are validation-dominated,
+//     read-only outside the sanctioned writer, and never outlive their
+//     backing buffer
+//   - offwire:     encoder and decoder agree on every wire section's
+//     stride, widths, and counts, and decoded sections are
+//     element-validated
 //
 // The determinism trio (maporder, slotwrite, sortcmp) shares the ssaflow
 // value-flow layer and is backed at runtime by `make determinism`, which
 // rebuilds the oracle under shuffled schedules and byte-compares encodings.
 // The concurrency trio (atomicmix, poolleak, ctxdone) guards the serving
 // plane's lock-free image swap, buffer pools, and graceful drain; its
-// runtime backstop is the -race swap/drain tests in internal/serve.
+// runtime backstop is the -race swap/drain tests in internal/serve. The
+// image-integrity trio (leasepair, unsafeview, offwire) rides the
+// interprocedural ssaflow summaries to guard the zero-copy image plane:
+// the reader lease around the atomic swap, the unsafe section views, and
+// the encode/decode wire contract.
 //
 // The suite runs as `go vet -vettool=bin/pathsep-lint` (see cmd/pathsep-lint
 // and `make lint`), and each analyzer carries analysistest-style coverage
@@ -41,13 +54,16 @@ import (
 	"pathsep/internal/analyzers/errctx"
 	"pathsep/internal/analyzers/floatcmp"
 	"pathsep/internal/analyzers/hotalloc"
+	"pathsep/internal/analyzers/leasepair"
 	"pathsep/internal/analyzers/maporder"
 	"pathsep/internal/analyzers/obsnilguard"
+	"pathsep/internal/analyzers/offwire"
 	"pathsep/internal/analyzers/poolleak"
 	"pathsep/internal/analyzers/seededrand"
 	"pathsep/internal/analyzers/slotwrite"
 	"pathsep/internal/analyzers/sortcmp"
 	"pathsep/internal/analyzers/subgraphmut"
+	"pathsep/internal/analyzers/unsafeview"
 )
 
 // All returns every analyzer in the suite, in stable order.
@@ -58,12 +74,15 @@ func All() []*analysis.Analyzer {
 		errctx.Analyzer,
 		floatcmp.Analyzer,
 		hotalloc.Analyzer,
+		leasepair.Analyzer,
 		maporder.Analyzer,
 		obsnilguard.Analyzer,
+		offwire.Analyzer,
 		poolleak.Analyzer,
 		seededrand.Analyzer,
 		slotwrite.Analyzer,
 		sortcmp.Analyzer,
 		subgraphmut.Analyzer,
+		unsafeview.Analyzer,
 	}
 }

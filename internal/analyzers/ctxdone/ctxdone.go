@@ -16,8 +16,15 @@
 //     body panics; a trailing `done <- i` send is exactly the shape
 //     that wedges the collector when a worker dies early, and does not
 //     count;
-//   - for `go namedFunc(args...)`, an argument that carries the tie: a
-//     context.Context, a *sync.WaitGroup, or a channel.
+//   - for `go namedFunc(args...)`, the callee's ssaflow summary must be
+//     transitively tied: its body (or the body of any in-package
+//     function it calls, to any depth) contains one of the constructs
+//     above. Taking a context.Context argument and ignoring it does not
+//     count — the tie is judged by what the body does, not by its
+//     signature. Only for callees outside the package, whose bodies the
+//     pass cannot see, does an argument carrying a tie type (a
+//     context.Context, a *sync.WaitGroup, or a channel) stand in for
+//     the body check.
 //
 // Truly intentional detachment is opted into, not slipped into: a
 // `//pathsep:detached` comment on the go statement (same line or the
@@ -27,7 +34,6 @@ package ctxdone
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
 	"strings"
 
@@ -45,7 +51,7 @@ const Directive = "//pathsep:detached"
 var Analyzer = &analysis.Analyzer{
 	Name:     "ctxdone",
 	Doc:      "goroutines in internal/serve and internal/obs must be tied to a shutdown signal (ctx.Done, close channel, or WaitGroup) or carry //pathsep:detached",
-	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Requires: []*analysis.Analyzer{inspect.Analyzer, ssaflow.Analyzer},
 	Run:      run,
 }
 
@@ -59,6 +65,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		return nil, nil
 	}
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	flow := pass.ResultOf[ssaflow.Analyzer].(*ssaflow.Result)
 
 	// Lines carrying the detached directive, per file.
 	detached := map[string]map[int]bool{}
@@ -84,7 +91,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		if lines := detached[pos.Filename]; lines[pos.Line] || lines[pos.Line-1] {
 			return
 		}
-		if tied(pass.TypesInfo, gs) {
+		if tied(pass.TypesInfo, flow, gs) {
 			return
 		}
 		pass.Reportf(gs.Pos(), "fire-and-forget goroutine: tie it to a shutdown signal (a channel receive, ctx.Done, defer close, or defer wg.Done) or annotate %s", Directive)
@@ -93,126 +100,57 @@ func run(pass *analysis.Pass) (interface{}, error) {
 }
 
 // tied reports whether the launched goroutine is join-able.
-func tied(info *types.Info, gs *ast.GoStmt) bool {
+func tied(info *types.Info, flow *ssaflow.Result, gs *ast.GoStmt) bool {
 	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
-		return bodyTied(info, lit.Body)
+		return ssaflow.BodyTied(info, lit.Body)
 	}
-	// go namedFunc(args...): the tie must travel in as an argument.
+	// go namedFunc(args...): judge the callee by its body. The summary's
+	// Tied bit covers the direct body; the callee set extends it through
+	// in-package wrappers of any depth (a launcher whose helper ranges
+	// over the work channel is tied, even though the launcher body shows
+	// no channel operation).
+	if fn := ssaflow.CalleeFunc(info, gs.Call); fn != nil {
+		if s := flow.SummaryOf(fn); s != nil {
+			return transitivelyTied(flow, fn, map[*types.Func]bool{})
+		}
+	}
+	// Callee outside the package: its body is invisible, so an argument
+	// carrying a tie type is the best available evidence.
 	for _, arg := range gs.Call.Args {
 		t := info.TypeOf(arg)
 		if t == nil {
 			continue
 		}
-		if isContext(t) || isWaitGroupPtr(t) || isChan(t) {
+		if ssaflow.IsContext(t) || isWaitGroupPtr(t) || ssaflow.IsChan(t) {
 			return true
 		}
 	}
 	return false
 }
 
-// bodyTied scans a goroutine body for a shutdown tie.
-func bodyTied(info *types.Info, body *ast.BlockStmt) bool {
-	found := false
-	ast.Inspect(body, func(n ast.Node) bool {
-		if found {
-			return false
-		}
-		switch n := n.(type) {
-		case *ast.UnaryExpr:
-			// <-ch: any channel receive except timer channels.
-			if n.Op == token.ARROW && isChan(info.TypeOf(n.X)) && !isTimerChan(info, n.X) {
-				found = true
-			}
-		case *ast.RangeStmt:
-			// for ... range ch: terminates when the channel closes.
-			if isChan(info.TypeOf(n.X)) {
-				found = true
-			}
-		case *ast.CallExpr:
-			// ctx.Done() anywhere (select arms, conditions).
-			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" && isContext(info.TypeOf(sel.X)) {
-				found = true
-			}
-		case *ast.DeferStmt:
-			if deferSignals(info, n.Call) {
-				found = true
-			}
-		}
+// transitivelyTied reports whether fn's body, or any in-package function
+// it (transitively) calls, contains a shutdown-tie construct.
+func transitivelyTied(flow *ssaflow.Result, fn *types.Func, seen map[*types.Func]bool) bool {
+	if seen[fn] {
+		return false
+	}
+	seen[fn] = true
+	s := flow.SummaryOf(fn)
+	if s == nil {
+		return false
+	}
+	if s.Tied {
 		return true
-	})
-	return found
-}
-
-// deferSignals reports whether call, run deferred, announces the
-// goroutine's completion: close(ch) or wg.Done().
-func deferSignals(info *types.Info, call *ast.CallExpr) bool {
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		if _, isBuiltin := info.Uses[fun].(*types.Builtin); isBuiltin && fun.Name == "close" && len(call.Args) == 1 {
-			return isChan(info.TypeOf(call.Args[0]))
-		}
-	case *ast.SelectorExpr:
-		if fun.Sel.Name == "Done" && isWaitGroup(info.TypeOf(fun.X)) {
+	}
+	for callee := range s.Callees {
+		if transitivelyTied(flow, callee, seen) {
 			return true
 		}
 	}
 	return false
-}
-
-func isContext(t types.Type) bool {
-	n, ok := t.(*types.Named)
-	if !ok {
-		return false
-	}
-	obj := n.Obj()
-	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
-}
-
-func isWaitGroup(t types.Type) bool {
-	if t == nil {
-		return false
-	}
-	if p, ok := t.Underlying().(*types.Pointer); ok {
-		t = p.Elem()
-	}
-	n, ok := t.(*types.Named)
-	if !ok {
-		return false
-	}
-	obj := n.Obj()
-	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
 }
 
 func isWaitGroupPtr(t types.Type) bool {
 	p, ok := t.Underlying().(*types.Pointer)
-	return ok && isWaitGroup(p.Elem())
-}
-
-func isChan(t types.Type) bool {
-	if t == nil {
-		return false
-	}
-	_, ok := t.Underlying().(*types.Chan)
-	return ok
-}
-
-// isTimerChan reports whether e is a call into package time (After,
-// Tick, NewTimer().C is a selector, not a call — selectors of time
-// types are likewise excluded).
-func isTimerChan(info *types.Info, e ast.Expr) bool {
-	switch x := ast.Unparen(e).(type) {
-	case *ast.CallExpr:
-		fn := ssaflow.CalleeFunc(info, x)
-		return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time"
-	case *ast.SelectorExpr:
-		if t := info.TypeOf(x.X); t != nil {
-			if p, ok := t.Underlying().(*types.Pointer); ok {
-				t = p.Elem()
-			}
-			if n, ok := t.(*types.Named); ok && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "time" {
-				return true
-			}
-		}
-	}
-	return false
+	return ok && ssaflow.IsWaitGroup(p.Elem())
 }

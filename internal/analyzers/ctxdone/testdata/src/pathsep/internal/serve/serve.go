@@ -8,11 +8,49 @@ import (
 	"time"
 )
 
-func work()                          {}
-func handle(job int)                 {}
-func pump(ctx context.Context)       {}
-func drainWorker(wg *sync.WaitGroup) {}
-func orphan(n int)                   {}
+func work()          {}
+func handle(job int) {}
+func orphan(n int)   {}
+
+// pump is tied by its own body: it blocks on ctx.Done.
+func pump(ctx context.Context) {
+	<-ctx.Done()
+	work()
+}
+
+// drainWorker signals completion even on panic.
+func drainWorker(wg *sync.WaitGroup) {
+	defer wg.Done()
+	work()
+}
+
+// namedChan terminates when the work channel closes.
+func namedChan(jobs chan int) {
+	for j := range jobs {
+		handle(j)
+	}
+}
+
+// launcher is tied one wrapper level deep: its own body shows no channel
+// operation, but the helper it calls ranges over the work channel. The
+// interprocedural summary sees through the wrapper.
+func launcher(jobs chan int) {
+	runJobs(jobs)
+}
+
+func runJobs(jobs chan int) {
+	for j := range jobs {
+		handle(j)
+	}
+}
+
+// ignoresCtx takes a context but never consults it: the signature
+// promises a tie the body does not deliver.
+func ignoresCtx(ctx context.Context) {
+	for {
+		work()
+	}
+}
 
 // fire-and-forget: nothing can join this goroutine.
 func badPlain() {
@@ -108,11 +146,20 @@ func goodRangeChan(jobs chan int) {
 	}()
 }
 
-// named functions carrying the tie as an argument.
+// named functions whose bodies deliver the tie.
 func goodNamed(ctx context.Context, wg *sync.WaitGroup, jobs chan int) {
 	go pump(ctx)
 	go drainWorker(wg)
 	go namedChan(jobs)
 }
 
-func namedChan(jobs chan int) {}
+// tied through an in-package wrapper: launcher itself has no channel
+// operation, but runJobs (which it calls) does.
+func goodWrapped(jobs chan int) {
+	go launcher(jobs)
+}
+
+// a tie-typed argument is not enough when the body visibly ignores it.
+func badIgnoredCtx(ctx context.Context) {
+	go ignoresCtx(ctx) // want `fire-and-forget goroutine`
+}

@@ -1,0 +1,754 @@
+// Package leasepair generalizes poolleak's acquire/release discipline
+// to the serving plane's image lease. internal/serve hands out the
+// current oracle image through an acquire/release pair around an
+// atomic.Pointer: acquire pins a generation (so a concurrent reload
+// cannot unmap the flat image mid-query), release unpins it, and the
+// reload path swaps only after draining readers. Every handler must
+// pair the two on all paths — a missed release on an early return
+// wedges reload drains forever, a use after release races the swap, and
+// a second acquire in one response can observe two different
+// generations and mix their results.
+//
+// The leased type is declared, not hard-coded: a
+//
+//	//pathsep:lease acquire=<name> release=<name>
+//
+// directive in the doc comment of a type declaration names the
+// package's acquire and release functions. The pass then enforces, in
+// every function of that package (acquire/release themselves and test
+// files excepted):
+//
+//   - all-paths release: a value obtained from the acquire function (or
+//     any wrapper whose result transitively derives from it — resolved
+//     through the interprocedural ssaflow summaries, like poolleak's
+//     getters) must reach the release function (or a wrapper one of
+//     whose parameters transitively reaches it) on every path out:
+//     early returns, falls-off-the-end, and panics. A deferred release
+//     covers every exit including panics and permits later uses.
+//   - no use-after-release: after a non-deferred release, any mention
+//     of the leased value races the reload swap.
+//   - one generation per response: acquiring a second lease while one
+//     is open mixes generations; release the first or restructure.
+//   - no raw pointer access: calling Load/Store/Swap/CompareAndSwap on
+//     an atomic.Pointer[T] of the leased type anywhere outside the
+//     acquire/release bodies bypasses the reader count. Deliberate
+//     bypasses (the reload swap, which is serialized by its own mutex)
+//     are annotated at the call site with
+//     `//pathsep:lease-bypass <reason>` on the same line or the line
+//     above, keeping the justification in the diff.
+//
+// Ownership transfer mirrors poolleak: returning the lease, storing it
+// into a field/slice/map, sending it on a channel, or capturing it in a
+// goroutine/closure moves the obligation elsewhere and the walk stops
+// tracking it.
+package leasepair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"pathsep/internal/analyzers/ssaflow"
+)
+
+// Directive declares a leased type; BypassDirective sanctions one raw
+// pointer access.
+const (
+	Directive       = "//pathsep:lease"
+	BypassDirective = "//pathsep:lease-bypass"
+)
+
+// Analyzer is the leasepair pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "leasepair",
+	Doc:      "acquire/release pairing for //pathsep:lease types: all paths release, no use-after-release, one generation per response, no raw atomic access",
+	Requires: []*analysis.Analyzer{inspect.Analyzer, ssaflow.Analyzer},
+	Run:      run,
+}
+
+// lease is one declared lease discipline.
+type lease struct {
+	typ         *types.Named // the leased type
+	acquireName string
+	releaseName string
+	acquirers   map[*types.Func]bool // acquire fn + wrappers (result derives from it)
+	releasers   map[*types.Func]int  // release fn + wrappers -> which param releases
+	exempt      map[ast.Node]bool    // acquire/release bodies, skipped by the walk
+}
+
+// parseDirective extracts acquire=/release= from a directive line.
+func parseDirective(text string) (acquire, release string, ok bool) {
+	rest := strings.TrimPrefix(strings.TrimSpace(text), Directive)
+	if rest == text || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return "", "", false
+	}
+	for _, f := range strings.Fields(rest) {
+		switch {
+		case strings.HasPrefix(f, "acquire="):
+			acquire = f[len("acquire="):]
+		case strings.HasPrefix(f, "release="):
+			release = f[len("release="):]
+		}
+	}
+	return acquire, release, acquire != "" && release != ""
+}
+
+// declaredLeases finds //pathsep:lease directives on type declarations.
+func declaredLeases(pass *analysis.Pass) []*lease {
+	var out []*lease
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				var lines []*ast.Comment
+				if gd.Doc != nil {
+					lines = append(lines, gd.Doc.List...)
+				}
+				if ts.Doc != nil {
+					lines = append(lines, ts.Doc.List...)
+				}
+				for _, c := range lines {
+					acq, rel, ok := parseDirective(c.Text)
+					if !ok {
+						continue
+					}
+					obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+					if !ok {
+						continue
+					}
+					named, ok := obj.Type().(*types.Named)
+					if !ok {
+						pass.Reportf(c.Pos(), "%s directive on %s: leased type must be a defined type", Directive, ts.Name.Name)
+						continue
+					}
+					out = append(out, &lease{
+						typ:         named,
+						acquireName: acq,
+						releaseName: rel,
+						acquirers:   map[*types.Func]bool{},
+						releasers:   map[*types.Func]int{},
+						exempt:      map[ast.Node]bool{},
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// isLeasedPtr reports whether t is *T (or T) for the leased type.
+func (l *lease) isLeasedPtr(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj() == l.typ.Obj()
+}
+
+// classify resolves the acquire/release functions and their wrappers
+// through the interprocedural summaries: any function whose result
+// transitively derives from the named acquire call is itself an
+// acquirer; any function one of whose parameters transitively reaches
+// the named release call is a releaser.
+func (l *lease) classify(pass *analysis.Pass, res *ssaflow.Result) {
+	// Pass 1: the directly named functions, matched by name and by
+	// touching the leased type (result for acquire, param for release).
+	for fn := range res.Summaries {
+		sig := fn.Type().(*types.Signature)
+		switch fn.Name() {
+		case l.acquireName:
+			for j := 0; j < sig.Results().Len(); j++ {
+				if l.isLeasedPtr(sig.Results().At(j).Type()) {
+					l.acquirers[fn] = true
+					l.exempt[res.Summaries[fn].Decl] = true
+				}
+			}
+		case l.releaseName:
+			for i := 0; i < sig.Params().Len(); i++ {
+				if l.isLeasedPtr(sig.Params().At(i).Type()) {
+					l.releasers[fn] = i
+					l.exempt[res.Summaries[fn].Decl] = true
+				}
+			}
+		}
+	}
+	// Pass 2: wrappers, to a fixpoint over the per-function summaries —
+	// a function returning an acquirer's result is an acquirer, a
+	// function forwarding a parameter into a releaser's release slot is
+	// a releaser, however many levels deep the chain goes. (ResultFlow
+	// and ParamFlow would resolve *through* the in-package acquire and
+	// bottom out at its atomics, so the direct summaries are what we
+	// want here.)
+	for changed := true; changed; {
+		changed = false
+		for fn, s := range res.Summaries {
+			sig := fn.Type().(*types.Signature)
+			if !l.acquirers[fn] {
+				for j := 0; j < sig.Results().Len(); j++ {
+					if !l.isLeasedPtr(sig.Results().At(j).Type()) {
+						continue
+					}
+					for _, src := range s.Returns[j] {
+						if src.Callee != nil && l.acquirers[src.Callee] {
+							l.acquirers[fn] = true
+							l.exempt[s.Decl] = true
+							changed = true
+						}
+					}
+				}
+			}
+			if _, ok := l.releasers[fn]; !ok {
+				for i := 0; i < sig.Params().Len(); i++ {
+					if !l.isLeasedPtr(sig.Params().At(i).Type()) {
+						continue
+					}
+					for _, use := range s.ParamUses[i] {
+						if ri, ok := l.releasers[use.Callee]; ok && use.Arg == ri {
+							l.releasers[fn] = i
+							l.exempt[s.Decl] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// bypassLines collects //pathsep:lease-bypass annotations per file.
+func bypassLines(pass *analysis.Pass) map[string]map[int]bool {
+	out := map[string]map[int]bool{}
+	for _, file := range pass.Files {
+		fname := pass.Fset.Position(file.Pos()).Filename
+		lines := map[int]bool{}
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(strings.TrimSpace(c.Text), BypassDirective) {
+					lines[pass.Fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+		out[fname] = lines
+	}
+	return out
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	leases := declaredLeases(pass)
+	if len(leases) == 0 {
+		return nil, nil
+	}
+	res := pass.ResultOf[ssaflow.Analyzer].(*ssaflow.Result)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	for _, l := range leases {
+		l.classify(pass, res)
+	}
+	bypass := bypassLines(pass)
+
+	// Raw atomic.Pointer[T] access outside the acquire/release bodies.
+	exemptPos := func(pos token.Pos) bool {
+		for _, l := range leases {
+			for node := range l.exempt {
+				if pos >= node.Pos() && pos < node.End() {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		switch sel.Sel.Name {
+		case "Load", "Store", "Swap", "CompareAndSwap":
+		default:
+			return
+		}
+		for _, l := range leases {
+			if !isAtomicPtrOf(pass.TypesInfo.TypeOf(sel.X), l.typ) {
+				continue
+			}
+			pos := pass.Fset.Position(call.Pos())
+			if strings.HasSuffix(pos.Filename, "_test.go") || exemptPos(call.Pos()) {
+				continue
+			}
+			if lines := bypass[pos.Filename]; lines[pos.Line] || lines[pos.Line-1] {
+				continue
+			}
+			pass.Reportf(call.Pos(), "raw atomic %s of leased type %s bypasses the %s/%s lease; use the lease or annotate %s",
+				sel.Sel.Name, l.typ.Obj().Name(), l.acquireName, l.releaseName, BypassDirective)
+		}
+	})
+
+	// Path-sensitive pairing walk over every non-exempt function body.
+	for _, fn := range res.Funcs {
+		file := pass.Fset.Position(fn.Node.Pos()).Filename
+		if strings.HasSuffix(file, "_test.go") {
+			continue
+		}
+		skip := false
+		for _, l := range leases {
+			if l.exempt[fn.Node] {
+				skip = true
+			}
+		}
+		if skip {
+			continue
+		}
+		w := &walker{pass: pass, leases: leases}
+		st := &state{open: map[types.Object]*held{}, done: map[types.Object]token.Pos{}}
+		w.stmts(st, fn.Body.List)
+		if !st.dead {
+			w.leaks(st, fn.Body.End(), "falls off the end of "+fn.Name)
+		}
+	}
+	return nil, nil
+}
+
+// isAtomicPtrOf reports whether t is sync/atomic.Pointer[leased] (or a
+// pointer to one).
+func isAtomicPtrOf(t types.Type, leased *types.Named) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" || obj.Name() != "Pointer" {
+		return false
+	}
+	args := n.TypeArgs()
+	if args == nil || args.Len() != 1 {
+		return false
+	}
+	arg, ok := args.At(0).(*types.Named)
+	return ok && arg.Obj() == leased.Obj()
+}
+
+// held is one open lease.
+type held struct {
+	pos   token.Pos
+	lease *lease
+}
+
+// state is the abstract store along one path.
+type state struct {
+	open map[types.Object]*held
+	done map[types.Object]token.Pos
+	dead bool
+}
+
+func (st *state) clone() *state {
+	c := &state{
+		open: make(map[types.Object]*held, len(st.open)),
+		done: make(map[types.Object]token.Pos, len(st.done)),
+		dead: st.dead,
+	}
+	for k, v := range st.open {
+		cp := *v
+		c.open[k] = &cp
+	}
+	for k, v := range st.done {
+		c.done[k] = v
+	}
+	return c
+}
+
+// merge folds branch outcomes: open if open on any surviving path,
+// released only if released on every surviving path.
+func (st *state) merge(branches []*state) {
+	live := branches[:0]
+	for _, b := range branches {
+		if !b.dead {
+			live = append(live, b)
+		}
+	}
+	if len(live) == 0 {
+		st.dead = true
+		return
+	}
+	open := map[types.Object]*held{}
+	for _, b := range live {
+		for k, v := range b.open {
+			if _, ok := open[k]; !ok {
+				open[k] = v
+			}
+		}
+	}
+	done := map[types.Object]token.Pos{}
+	for k, v := range live[0].done {
+		onAll := true
+		for _, b := range live[1:] {
+			if _, ok := b.done[k]; !ok {
+				onAll = false
+				break
+			}
+		}
+		if onAll {
+			done[k] = v
+		}
+	}
+	for k := range open {
+		delete(done, k)
+	}
+	st.open, st.done = open, done
+}
+
+// walker interprets one function body.
+type walker struct {
+	pass   *analysis.Pass
+	leases []*lease
+}
+
+func (w *walker) info() *types.Info { return w.pass.TypesInfo }
+
+func (w *walker) leaks(st *state, pos token.Pos, how string) {
+	for obj, h := range st.open {
+		w.pass.Reportf(pos, "lease %s (acquired at %s) is never released: control %s without a %s",
+			obj.Name(), w.pass.Fset.Position(h.pos), how, h.lease.releaseName)
+	}
+	st.open = map[types.Object]*held{}
+}
+
+func (w *walker) stmts(st *state, list []ast.Stmt) {
+	for _, s := range list {
+		if st.dead {
+			return
+		}
+		w.stmt(st, s)
+	}
+}
+
+// useCheck reports mentions of already-released leases inside e. skip,
+// when non-nil, is the release argument itself.
+func (w *walker) useCheck(st *state, e ast.Expr, skip ast.Expr) {
+	if e == nil || len(st.done) == 0 {
+		return
+	}
+	for obj, relPos := range st.done {
+		if skip != nil && ssaflow.BaseObject(w.info(), skip) == obj {
+			continue
+		}
+		if ssaflow.Mentions(w.info(), e, func(o types.Object) bool { return o == obj }) {
+			w.pass.Reportf(e.Pos(), "lease %s used after release at %s; the image may be swapped out from under it",
+				obj.Name(), w.pass.Fset.Position(relPos))
+			delete(st.done, obj)
+		}
+	}
+}
+
+// escapes stops tracking leases mentioned by e (ownership moved).
+func (w *walker) escapes(st *state, e ast.Expr) {
+	if e == nil || len(st.open) == 0 {
+		return
+	}
+	for obj := range st.open {
+		if ssaflow.Mentions(w.info(), e, func(o types.Object) bool { return o == obj }) {
+			delete(st.open, obj)
+		}
+	}
+}
+
+// acquireCall matches a call to an acquirer (possibly behind a type
+// assertion), returning its lease.
+func (w *walker) acquireCall(e ast.Expr) (*lease, bool) {
+	e = ast.Unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	fn := ssaflow.CalleeFunc(w.info(), call)
+	if fn == nil {
+		return nil, false
+	}
+	for _, l := range w.leases {
+		if l.acquirers[fn] {
+			return l, true
+		}
+	}
+	return nil, false
+}
+
+// releaseCall matches a call to a releaser, returning the lease and the
+// released expression.
+func (w *walker) releaseCall(call *ast.CallExpr) (*lease, ast.Expr, bool) {
+	fn := ssaflow.CalleeFunc(w.info(), call)
+	if fn == nil {
+		return nil, nil, false
+	}
+	for _, l := range w.leases {
+		if ri, ok := l.releasers[fn]; ok && ri < len(call.Args) {
+			return l, ast.Unparen(call.Args[ri]), true
+		}
+	}
+	return nil, nil, false
+}
+
+// release closes the lease named by arg.
+func (w *walker) release(st *state, l *lease, arg ast.Expr, deferred bool, pos token.Pos) {
+	obj := ssaflow.BaseObject(w.info(), arg)
+	if obj == nil {
+		return
+	}
+	if _, ok := st.open[obj]; !ok {
+		return // unknown origin (parameter, field) — the acquirer is elsewhere
+	}
+	delete(st.open, obj)
+	if !deferred {
+		st.done[obj] = pos
+	}
+}
+
+// assign interprets one assignment or binding.
+func (w *walker) assign(st *state, lhs, rhs ast.Expr, pos token.Pos) {
+	info := w.info()
+	w.useCheck(st, rhs, nil)
+
+	id, isIdent := ast.Unparen(lhs).(*ast.Ident)
+	if !isIdent {
+		w.useCheck(st, lhs, nil)
+		w.escapes(st, rhs)
+		return
+	}
+	obj := info.ObjectOf(id)
+	if obj == nil {
+		return
+	}
+	l, isAcquire := (*lease)(nil), false
+	if rhs != nil {
+		l, isAcquire = w.acquireCall(rhs)
+	}
+	if h, open := st.open[obj]; open {
+		if rhs == nil || !ssaflow.Mentions(info, rhs, func(o types.Object) bool { return o == obj }) {
+			w.pass.Reportf(pos, "lease %s (acquired at %s) is overwritten without a %s",
+				obj.Name(), w.pass.Fset.Position(h.pos), h.lease.releaseName)
+			delete(st.open, obj)
+		}
+	}
+	delete(st.done, obj)
+	if isAcquire {
+		for other, h := range st.open {
+			w.pass.Reportf(pos, "second lease generation acquired while %s (acquired at %s) is still held; one generation per response",
+				other.Name(), w.pass.Fset.Position(h.pos))
+		}
+		st.open[obj] = &held{pos: pos, lease: l}
+	}
+}
+
+// call interprets a call in statement position.
+func (w *walker) call(st *state, call *ast.CallExpr, deferred bool) {
+	if l, arg, ok := w.releaseCall(call); ok {
+		w.useCheck(st, call, arg)
+		w.release(st, l, arg, deferred, call.Pos())
+		return
+	}
+	w.useCheck(st, call, nil)
+	if _, isAcquire := w.acquireCall(call); isAcquire {
+		// Acquiring without binding the result leaks it immediately.
+		w.pass.Reportf(call.Pos(), "lease acquired and discarded; bind the result and release it")
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		if _, isBuiltin := w.info().Uses[id].(*types.Builtin); isBuiltin {
+			w.leaks(st, call.Pos(), "panics")
+			st.dead = true
+			return
+		}
+	}
+	for _, arg := range call.Args {
+		if _, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+			w.escapes(st, arg)
+		}
+	}
+}
+
+// exprEvents walks non-statement expressions for use-after-release and
+// closure captures.
+func (w *walker) exprEvents(st *state, e ast.Expr) {
+	if e == nil {
+		return
+	}
+	w.useCheck(st, e, nil)
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			w.escapes(st, lit)
+			return false
+		}
+		return true
+	})
+}
+
+func (w *walker) stmt(st *state, s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			ast.Inspect(r, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					w.escapes(st, lit)
+					return false
+				}
+				return true
+			})
+		}
+		if len(s.Lhs) == len(s.Rhs) {
+			for i := range s.Lhs {
+				w.assign(st, s.Lhs[i], s.Rhs[i], s.Pos())
+			}
+		} else if len(s.Rhs) == 1 {
+			for _, lhs := range s.Lhs {
+				w.assign(st, lhs, s.Rhs[0], s.Pos())
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for i, name := range vs.Names {
+						var rhs ast.Expr
+						if i < len(vs.Values) {
+							rhs = vs.Values[i]
+						} else if len(vs.Values) == 1 {
+							rhs = vs.Values[0]
+						}
+						w.assign(st, name, rhs, s.Pos())
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			w.call(st, call, false)
+		} else {
+			w.exprEvents(st, s.X)
+		}
+	case *ast.DeferStmt:
+		w.call(st, s.Call, true)
+	case *ast.GoStmt:
+		w.useCheck(st, s.Call, nil)
+		w.escapes(st, s.Call)
+	case *ast.SendStmt:
+		w.useCheck(st, s.Value, nil)
+		w.escapes(st, s.Value)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.useCheck(st, r, nil)
+			w.escapes(st, r)
+		}
+		w.leaks(st, s.Pos(), "returns")
+		st.dead = true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(st, s.Init)
+		}
+		w.exprEvents(st, s.Cond)
+		then := st.clone()
+		w.stmts(then, s.Body.List)
+		els := st.clone()
+		if s.Else != nil {
+			w.stmt(els, s.Else)
+		}
+		st.merge([]*state{then, els})
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(st, s.Init)
+		}
+		if s.Cond != nil {
+			w.exprEvents(st, s.Cond)
+		}
+		body := st.clone()
+		w.stmts(body, s.Body.List)
+		if s.Post != nil && !body.dead {
+			w.stmt(body, s.Post)
+		}
+		body.dead = false
+		st.merge([]*state{st.clone(), body})
+	case *ast.RangeStmt:
+		w.exprEvents(st, s.X)
+		body := st.clone()
+		w.stmts(body, s.Body.List)
+		body.dead = false
+		st.merge([]*state{st.clone(), body})
+	case *ast.BlockStmt:
+		w.stmts(st, s.List)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var init ast.Stmt
+		var body *ast.BlockStmt
+		if sw, ok := s.(*ast.SwitchStmt); ok {
+			init, body = sw.Init, sw.Body
+			if sw.Tag != nil {
+				w.exprEvents(st, sw.Tag)
+			}
+		} else {
+			ts := s.(*ast.TypeSwitchStmt)
+			init, body = ts.Init, ts.Body
+		}
+		if init != nil {
+			w.stmt(st, init)
+		}
+		var branches []*state
+		hasDefault := false
+		for _, c := range body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				if cc.List == nil {
+					hasDefault = true
+				}
+				b := st.clone()
+				w.stmts(b, cc.Body)
+				branches = append(branches, b)
+			}
+		}
+		if !hasDefault {
+			branches = append(branches, st.clone())
+		}
+		if len(branches) > 0 {
+			st.merge(branches)
+		}
+	case *ast.SelectStmt:
+		var branches []*state
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				b := st.clone()
+				if cc.Comm != nil {
+					w.stmt(b, cc.Comm)
+				}
+				w.stmts(b, cc.Body)
+				branches = append(branches, b)
+			}
+		}
+		if len(branches) > 0 {
+			st.merge(branches)
+		}
+	case *ast.LabeledStmt:
+		w.stmt(st, s.Stmt)
+	case *ast.IncDecStmt:
+		w.exprEvents(st, s.X)
+	case *ast.BranchStmt:
+		st.dead = true
+	}
+}

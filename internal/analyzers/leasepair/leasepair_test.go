@@ -1,0 +1,12 @@
+package leasepair_test
+
+import (
+	"testing"
+
+	"pathsep/internal/analyzers/analyzertest"
+	"pathsep/internal/analyzers/leasepair"
+)
+
+func TestLeasePair(t *testing.T) {
+	analyzertest.Run(t, "testdata", leasepair.Analyzer, "a")
+}

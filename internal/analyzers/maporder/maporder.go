@@ -25,16 +25,23 @@
 //   - Sinks: a tainted value reaching serialization (a callee named
 //     Encode*/Marshal*/Write*/Fprint*/Append*), a sort.Search* input
 //     (binary search over a nondeterministically ordered slice), a
-//     channel send, a return statement, or any other call argument
-//     (conservative: the callee may serialize or compare). Calls into
-//     package testing are exempt — test-failure text may cite unsorted
-//     data.
+//     channel send, a return statement, or a call argument whose fate
+//     the pass cannot see. For callees in the same package the
+//     interprocedural ssaflow summaries decide that fate: an argument
+//     that transitively reaches a sort barrier inside the callee is
+//     cleansed (the wrapper IS the barrier), one that is provably inert
+//     (never escapes, never reaches another call) is no finding, and
+//     one that reaches serialization, escapes sideways, or is returned
+//     — at any wrapper depth — is reported with the terminal sink
+//     named. Only callees whose bodies are invisible (other packages,
+//     function values) keep the old conservative any-call posture.
+//     Calls into package testing are exempt — test-failure text may
+//     cite unsorted data.
 //
 // Each source is reported once, at its first sink, citing the map range
-// that produced it. The analysis is intra-procedural: values returned by
-// the function are flagged at the return (the caller cannot be analyzed
-// from here), which is exactly the conservative posture a determinism
-// invariant wants.
+// that produced it. Values returned by the function are flagged at the
+// return (the caller cannot be analyzed from here), which is exactly
+// the conservative posture a determinism invariant wants.
 package maporder
 
 import (
@@ -58,7 +65,7 @@ var Analyzer = &analysis.Analyzer{
 func run(pass *analysis.Pass) (interface{}, error) {
 	res := pass.ResultOf[ssaflow.Analyzer].(*ssaflow.Result)
 	for _, fn := range res.Funcs {
-		w := &walker{pass: pass, taint: ssaflow.NewTaint(pass.TypesInfo)}
+		w := &walker{pass: pass, res: res, taint: ssaflow.NewTaint(pass.TypesInfo)}
 		w.stmts(fn.Body.List)
 	}
 	return nil, nil
@@ -67,6 +74,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 // walker is the flow-sensitive state of one function body.
 type walker struct {
 	pass  *analysis.Pass
+	res   *ssaflow.Result
 	taint *ssaflow.Taint
 }
 
@@ -391,6 +399,16 @@ func (w *walker) sinkCall(call *ast.CallExpr) {
 	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "testing" {
 		return
 	}
+	// An in-package callee with a summary is judged by what its body
+	// does with the argument, not by its existence — unless its name
+	// promises serialization, which stays a sink (the write typically
+	// goes through an io.Writer the flow can't track).
+	if fn != nil && !serializationName(fn.Name()) {
+		if w.res.SummaryOf(fn) != nil {
+			w.summarizedCall(call, fn)
+			return
+		}
+	}
 	kind := "a call"
 	if fn != nil {
 		switch {
@@ -411,4 +429,80 @@ func (w *walker) sinkCall(call *ast.CallExpr) {
 		w.pass.Reportf(arg.Pos(), "map-ordered value (accumulated at %s) reaches %s without a sort barrier",
 			w.pass.Fset.Position(src.AccPos), kind)
 	}
+}
+
+// summarizedCall judges a call to a summarized in-package callee: each
+// tainted argument is resolved through ParamFlow. A flow that reaches a
+// genuine sink at any depth reports (naming the terminal); a flow whose
+// only interesting edge is a sort barrier cleanses the argument; an
+// inert flow is no finding.
+func (w *walker) summarizedCall(call *ast.CallExpr, fn *types.Func) {
+	info := w.info()
+	sig := fn.Type().(*types.Signature)
+	for argIdx, arg := range call.Args {
+		src := w.taint.MentionedSource(arg)
+		if src == nil {
+			continue
+		}
+		pi := argIdx
+		if pi >= sig.Params().Len() {
+			if !sig.Variadic() || sig.Params().Len() == 0 {
+				continue
+			}
+			pi = sig.Params().Len() - 1
+		}
+		fl := w.res.ParamFlow(fn, pi)
+		if sink, kind := w.flowSink(fn, fl); sink {
+			if !src.Reported {
+				src.Reported = true
+				w.pass.Reportf(arg.Pos(), "map-ordered value (accumulated at %s) reaches %s without a sort barrier",
+					w.pass.Fset.Position(src.AccPos), kind)
+			}
+			continue
+		}
+		if flowBarrier(info, fl) {
+			w.taint.Kill(ssaflow.BaseObject(info, arg))
+		}
+	}
+}
+
+// flowSink reports whether a parameter's transitive flow hits an
+// order-sensitive sink, and with what description. In-package edges are
+// skipped (ParamFlow already descended into them); terminal edges to
+// invisible callees keep the conservative posture.
+func (w *walker) flowSink(fn *types.Func, fl ssaflow.Flow) (bool, string) {
+	if fl.Sunk != "" {
+		return true, fn.Name() + " (" + fl.Sunk + ")"
+	}
+	if fl.Returned {
+		return true, fn.Name() + " (returns it)"
+	}
+	for _, use := range fl.Uses {
+		if sortBarrier(w.info(), use.Call) != nil && use.Arg == 0 {
+			continue
+		}
+		cal := use.Callee
+		if w.res.SummaryOf(cal) != nil {
+			continue
+		}
+		if cal.Pkg() != nil && cal.Pkg().Path() == "testing" {
+			continue
+		}
+		if serializationName(cal.Name()) {
+			return true, fn.Name() + " (reaches " + cal.Name() + ", serialization)"
+		}
+		return true, fn.Name() + " (reaches " + cal.Name() + ")"
+	}
+	return false, ""
+}
+
+// flowBarrier reports whether the flow passes the value to a sort
+// barrier (as the sorted operand).
+func flowBarrier(info *types.Info, fl ssaflow.Flow) bool {
+	for _, use := range fl.Uses {
+		if sortBarrier(info, use.Call) != nil && use.Arg == 0 {
+			return true
+		}
+	}
+	return false
 }

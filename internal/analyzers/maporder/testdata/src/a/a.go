@@ -9,7 +9,31 @@ import (
 	"sort"
 )
 
-func emit(xs []int) {}
+// emit forwards to a real serializer: under the interprocedural
+// summaries a callee is a sink because of what its body does, not
+// because it exists.
+func emit(xs []int) {
+	binary.Write(&bytes.Buffer{}, binary.LittleEndian, xs)
+}
+
+// swallow provably does nothing order-sensitive with its argument.
+func swallow(xs []int) {
+	n := 0
+	for range xs {
+		n++
+	}
+}
+
+// sortAll is an in-package barrier wrapper: passing a slice through it
+// imposes a canonical order one call level down.
+func sortAll(xs []int) {
+	sort.Ints(xs)
+}
+
+// relay forwards to emit: the sink is two wrapper levels deep.
+func relay(xs []int) {
+	emit(xs)
+}
 
 // badReturn leaks map order through a returned key slice.
 func badReturn(m map[int]string) []int {
@@ -26,7 +50,7 @@ func badCall(m map[int]string) {
 	for k := range m {
 		keys = append(keys, k)
 	}
-	emit(keys) // want `map-ordered value \(accumulated at .*\) reaches emit without a sort barrier`
+	emit(keys) // want `map-ordered value \(accumulated at .*\) reaches emit \(reaches Write, serialization\) without a sort barrier`
 }
 
 // badEncode leaks map order straight into a serializer.
@@ -54,7 +78,16 @@ func badPropagated(m map[int]string) {
 		keys = append(keys, k)
 	}
 	view := keys[1:]
-	emit(view) // want `map-ordered value \(accumulated at .*\) reaches emit without a sort barrier`
+	emit(view) // want `map-ordered value \(accumulated at .*\) reaches emit \(reaches Write, serialization\) without a sort barrier`
+}
+
+// badDeep reaches the serializer through two in-package wrapper levels.
+func badDeep(m map[int]string) {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	relay(keys) // want `map-ordered value \(accumulated at .*\) reaches relay \(reaches Write, serialization\) without a sort barrier`
 }
 
 // badSend leaks map order over a channel.
@@ -112,6 +145,29 @@ func goodLen(m map[int]string) int {
 		keys = append(keys, k)
 	}
 	return len(keys)
+}
+
+// goodInert passes the tainted slice to a helper the summaries prove
+// harmless: no report, where the old conservative any-call rule fired.
+func goodInert(m map[int]string) {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	swallow(keys)
+}
+
+// goodBarrierWrapper cleanses through an in-package sort wrapper: the
+// summary shows the argument reaching sort.Ints, so the later sink and
+// return are ordered.
+func goodBarrierWrapper(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortAll(keys)
+	emit(keys)
+	return keys
 }
 
 // goodRebind kills taint on whole-object reassignment.

@@ -1,0 +1,530 @@
+// Package offwire cross-checks the two halves of the flat wire format.
+// The encoder and decoder are written against one layout struct of
+// section offsets (flatSections), but nothing in the type system ties
+// a PutUint32 at s.entryOff+4*i in Encode to the Uint32 read (or the
+// unsafe.Slice view of *int32) at the same offset in DecodeFlat — a
+// section widened, added, or renumbered on one side silently corrupts
+// every image decoded by the other.
+//
+// The pass recognizes layout structs structurally: structs whose
+// fields are all integer offsets (or embedded layout structs), used as
+// the base of buffer indexing in binary.ByteOrder put and read calls.
+// For every such section field, once the package contains both an
+// encoder and a decoder for the struct, it enforces:
+//
+//   - coverage symmetry: a section written is decoded, and a section
+//     decoded is written;
+//   - record symmetry: the per-record stride (the k in s.X+k*i) and
+//     the multiset of (offset, width) accesses within a record match
+//     between the put side and the copying-read side;
+//   - view symmetry: a zero-copy unsafe.Slice over a section has an
+//     element type whose size equals the encoder's record stride, and
+//     its element count expression is the same one the copying
+//     fallback passes to make — the two decode paths must agree on the
+//     section's shape;
+//   - validated reads: a decoded section must be element-validated
+//     somewhere — an indexed or ranged check of the same-named field
+//     in a function whose name contains "validate". A len() check
+//     alone accepts any garbage the records happen to contain.
+//
+// Test files are exempt.
+package offwire
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Analyzer is the offwire pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "offwire",
+	Doc:      "encode/decode symmetry for wire layout structs: section coverage, record stride and widths, zero-copy view shape, and element-validated reads",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// isLayoutStruct reports whether t is a struct of integer offsets
+// (embedded layout structs allowed) — the shape of a wire layout.
+func isLayoutStruct(t types.Type) bool {
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok || st.NumFields() < 2 {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if b, ok := f.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+			continue
+		}
+		if f.Embedded() && isLayoutStruct(f.Type()) {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// access is one put or read event against a section.
+type access struct {
+	addend int64 // byte offset within the record
+	width  int64 // bytes moved
+	stride int64 // record stride (0 when the section has no per-record loop)
+	pos    token.Pos
+}
+
+// view is one zero-copy unsafe.Slice construction over a section.
+type view struct {
+	elemSize int64
+	count    string
+	pos      token.Pos
+}
+
+// section aggregates everything the package does to one layout field.
+type section struct {
+	field *types.Var
+	puts  []access
+	reads []access
+	views []view
+}
+
+// offset is a resolved buffer-offset expression: base field plus a
+// constant addend plus an optional k*i stride term.
+type offset struct {
+	field  *types.Var
+	addend int64
+	stride int64
+	ok     bool
+}
+
+// collector walks one package.
+type collector struct {
+	pass     *analysis.Pass
+	sections map[*types.Var]*section
+	// viewCounts / makeCounts record, per assigned field name, the
+	// element-count expression of zero-copy and copying decodes.
+	viewCounts map[string]view
+	makeCounts map[string]string
+	// checked holds field names element-validated in validate functions.
+	checked map[string]bool
+	// locals maps offset-carrying locals (at := s.X + 8*i) per function.
+	locals map[types.Object]offset
+}
+
+func (c *collector) sectionOf(f *types.Var) *section {
+	s, ok := c.sections[f]
+	if !ok {
+		s = &section{field: f}
+		c.sections[f] = s
+	}
+	return s
+}
+
+// flattenSum splits e into its + terms.
+func flattenSum(e ast.Expr, terms *[]ast.Expr) {
+	e = ast.Unparen(e)
+	if be, ok := e.(*ast.BinaryExpr); ok && be.Op == token.ADD {
+		flattenSum(be.X, terms)
+		flattenSum(be.Y, terms)
+		return
+	}
+	*terms = append(*terms, e)
+}
+
+// resolveOffset interprets a buffer index expression of the grammar
+// s.X [+ const] [+ k*i], possibly through a local bound to a prefix of
+// it.
+func (c *collector) resolveOffset(e ast.Expr) offset {
+	info := c.pass.TypesInfo
+	var terms []ast.Expr
+	flattenSum(e, &terms)
+	var out offset
+	for _, t := range terms {
+		t = ast.Unparen(t)
+		if tv, ok := info.Types[t]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+			v, _ := constant.Int64Val(tv.Value)
+			out.addend += v
+			continue
+		}
+		switch x := t.(type) {
+		case *ast.SelectorExpr:
+			obj, ok := info.ObjectOf(x.Sel).(*types.Var)
+			if !ok || !obj.IsField() || !isLayoutStruct(info.TypeOf(x.X)) || out.field != nil {
+				return offset{}
+			}
+			out.field = obj
+		case *ast.Ident:
+			if loc, ok := c.locals[info.ObjectOf(x)]; ok && out.field == nil {
+				out.field = loc.field
+				out.addend += loc.addend
+				out.stride = loc.stride
+				continue
+			}
+			return offset{}
+		case *ast.BinaryExpr:
+			if x.Op != token.MUL {
+				return offset{}
+			}
+			k := int64(0)
+			found := false
+			for _, side := range []ast.Expr{x.X, x.Y} {
+				if tv, ok := info.Types[side]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+					k, _ = constant.Int64Val(tv.Value)
+					found = true
+				}
+			}
+			if !found || out.stride != 0 {
+				return offset{}
+			}
+			out.stride = k
+		default:
+			return offset{}
+		}
+	}
+	out.ok = out.field != nil
+	return out
+}
+
+// binaryAccess classifies le.PutUintN / le.UintN calls from
+// encoding/binary, returning the moved width and direction.
+func binaryAccess(info *types.Info, call *ast.CallExpr) (width int64, isPut, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return 0, false, false
+	}
+	fn, isFn := info.ObjectOf(sel.Sel).(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/binary" {
+		return 0, false, false
+	}
+	switch sel.Sel.Name {
+	case "PutUint16":
+		return 2, true, true
+	case "PutUint32":
+		return 4, true, true
+	case "PutUint64":
+		return 8, true, true
+	case "Uint16":
+		return 2, false, true
+	case "Uint32":
+		return 4, false, true
+	case "Uint64":
+		return 8, false, true
+	}
+	return 0, false, false
+}
+
+// bufOffsetExpr extracts the offset expression from the buffer operand
+// buf[off:] (or buf[off:hi]) of a binary access.
+func bufOffsetExpr(arg ast.Expr) (ast.Expr, bool) {
+	se, ok := ast.Unparen(arg).(*ast.SliceExpr)
+	if !ok || se.Low == nil {
+		return nil, false
+	}
+	return se.Low, true
+}
+
+// isUnsafeSlice matches unsafe.Slice calls.
+func isUnsafeSlice(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Slice" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, isPkg := info.ObjectOf(id).(*types.PkgName)
+	return isPkg && pn.Imported().Path() == "unsafe"
+}
+
+// viewOffsetExpr digs the buffer index out of a view's pointer
+// argument: (*T)(unsafe.Pointer(&buf[s.X])) yields s.X.
+func viewOffsetExpr(info *types.Info, e ast.Expr) (ast.Expr, bool) {
+	for {
+		e = ast.Unparen(e)
+		switch x := e.(type) {
+		case *ast.CallExpr:
+			if tv, ok := info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+				e = x.Args[0]
+				continue
+			}
+			return nil, false
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			return x.Index, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// collectLocals records offset-carrying locals of one function body.
+func (c *collector) collectLocals(body *ast.BlockStmt) {
+	info := c.pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if off := c.resolveOffset(as.Rhs[0]); off.ok {
+			c.locals[info.ObjectOf(id)] = off
+		}
+		return true
+	})
+}
+
+// collectAccesses records every put, read, view, and count in body.
+func (c *collector) collectAccesses(body *ast.BlockStmt) {
+	info := c.pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if w, isPut, ok := binaryAccess(info, n); ok && len(n.Args) > 0 {
+				low, ok := bufOffsetExpr(n.Args[0])
+				if !ok {
+					return true
+				}
+				off := c.resolveOffset(low)
+				if !off.ok {
+					return true
+				}
+				s := c.sectionOf(off.field)
+				a := access{addend: off.addend, width: w, stride: off.stride, pos: n.Pos()}
+				if isPut {
+					s.puts = append(s.puts, a)
+				} else {
+					s.reads = append(s.reads, a)
+				}
+				return true
+			}
+			if isUnsafeSlice(info, n) && len(n.Args) == 2 {
+				idx, ok := viewOffsetExpr(info, n.Args[0])
+				if !ok {
+					return true
+				}
+				off := c.resolveOffset(idx)
+				if !off.ok {
+					return true
+				}
+				size := int64(0)
+				if pt, isPtr := info.TypeOf(n.Args[0]).Underlying().(*types.Pointer); isPtr {
+					size = c.pass.TypesSizes.Sizeof(pt.Elem())
+				}
+				s := c.sectionOf(off.field)
+				s.views = append(s.views, view{
+					elemSize: size,
+					count:    types.ExprString(n.Args[1]),
+					pos:      n.Pos(),
+				})
+			}
+		case *ast.AssignStmt:
+			// Pair up the two decode paths by assigned field name:
+			// f.X = unsafe.Slice(...) vs f.X = make([]T, count).
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i := range n.Lhs {
+				sel, ok := ast.Unparen(n.Lhs[i]).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				call, ok := ast.Unparen(n.Rhs[i]).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				name := sel.Sel.Name
+				if isUnsafeSlice(info, call) && len(call.Args) == 2 {
+					size := int64(0)
+					if pt, isPtr := info.TypeOf(call.Args[0]).Underlying().(*types.Pointer); isPtr {
+						size = c.pass.TypesSizes.Sizeof(pt.Elem())
+					}
+					c.viewCounts[name] = view{elemSize: size, count: types.ExprString(call.Args[1]), pos: call.Pos()}
+				} else if id, isIdent := ast.Unparen(call.Fun).(*ast.Ident); isIdent && id.Name == "make" {
+					if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && len(call.Args) >= 2 {
+						c.makeCounts[name] = types.ExprString(call.Args[1])
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// collectValidated records element-level checks in validate functions.
+func (c *collector) collectValidated(fd *ast.FuncDecl) {
+	if !strings.Contains(strings.ToLower(fd.Name.Name), "validate") {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IndexExpr:
+			switch b := ast.Unparen(n.X).(type) {
+			case *ast.SelectorExpr:
+				c.checked[b.Sel.Name] = true
+			case *ast.Ident:
+				c.checked[b.Name] = true
+			}
+		case *ast.RangeStmt:
+			if b, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok && (n.Key != nil || n.Value != nil) {
+				c.checked[b.Sel.Name] = true
+			}
+		}
+		return true
+	})
+}
+
+// accessProfile formats a record's access multiset, e.g. "4B@+0 2B@+4".
+func accessProfile(as []access) string {
+	type slot struct{ addend, width int64 }
+	seen := map[slot]bool{}
+	var slots []slot
+	for _, a := range as {
+		s := slot{a.addend, a.width}
+		if !seen[s] {
+			seen[s] = true
+			slots = append(slots, s)
+		}
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i].addend < slots[j].addend })
+	parts := make([]string, len(slots))
+	for i, s := range slots {
+		parts[i] = fmt.Sprintf("%dB@+%d", s.width, s.addend)
+	}
+	return strings.Join(parts, " ")
+}
+
+// strideOf picks the section's record stride from its accesses.
+func strideOf(as []access) int64 {
+	for _, a := range as {
+		if a.stride != 0 {
+			return a.stride
+		}
+	}
+	return 0
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	c := &collector{
+		pass:       pass,
+		sections:   map[*types.Var]*section{},
+		viewCounts: map[string]view{},
+		makeCounts: map[string]string{},
+		checked:    map[string]bool{},
+		locals:     map[types.Object]offset{},
+	}
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil {
+			return
+		}
+		if strings.HasSuffix(pass.Fset.Position(fd.Pos()).Filename, "_test.go") {
+			return
+		}
+		c.collectLocals(fd.Body)
+		c.collectAccesses(fd.Body)
+		c.collectValidated(fd)
+	})
+
+	// The symmetry rules only make sense once this package contains
+	// both halves of a codec: a pure encoder (or pure decoder) package
+	// owes nothing to a counterpart it does not contain.
+	hasPuts, hasReads := map[string]bool{}, map[string]bool{}
+	for _, s := range c.sections {
+		key := s.field.Pkg().Path()
+		if len(s.puts) > 0 {
+			hasPuts[key] = true
+		}
+		if len(s.reads) > 0 || len(s.views) > 0 {
+			hasReads[key] = true
+		}
+	}
+
+	for _, s := range c.sections {
+		key := s.field.Pkg().Path()
+		if !hasPuts[key] || !hasReads[key] {
+			continue
+		}
+		name := s.field.Name()
+		decoded := len(s.reads) > 0 || len(s.views) > 0
+
+		// Coverage symmetry.
+		if len(s.puts) > 0 && !decoded {
+			pass.Reportf(s.puts[0].pos,
+				"wire section %s is written by the encoder but never decoded", name)
+			continue
+		}
+		if decoded && len(s.puts) == 0 {
+			pos := token.NoPos
+			if len(s.reads) > 0 {
+				pos = s.reads[0].pos
+			} else {
+				pos = s.views[0].pos
+			}
+			pass.Reportf(pos,
+				"wire section %s is decoded but never written by the encoder", name)
+			continue
+		}
+
+		// Record symmetry against the copying-read path.
+		putStride := strideOf(s.puts)
+		if len(s.reads) > 0 {
+			readStride := strideOf(s.reads)
+			if putStride != 0 && readStride != 0 && putStride != readStride {
+				pass.Reportf(s.reads[0].pos,
+					"wire section %s: encoder writes %d-byte records but decoder reads %d-byte records",
+					name, putStride, readStride)
+			} else if pp, rp := accessProfile(s.puts), accessProfile(s.reads); pp != rp {
+				pass.Reportf(s.reads[0].pos,
+					"wire section %s: encoder writes [%s] per record but decoder reads [%s]",
+					name, pp, rp)
+			}
+		}
+
+		// View symmetry against the zero-copy path.
+		for _, v := range s.views {
+			if putStride != 0 && v.elemSize != 0 && v.elemSize != putStride {
+				pass.Reportf(v.pos,
+					"wire section %s: zero-copy view elements are %d bytes but encoder writes %d-byte records",
+					name, v.elemSize, putStride)
+			}
+		}
+
+		// Validated reads.
+		if decoded && !c.checked[name] {
+			pos := token.NoPos
+			if len(s.reads) > 0 {
+				pos = s.reads[0].pos
+			} else {
+				pos = s.views[0].pos
+			}
+			pass.Reportf(pos,
+				"wire section %s is decoded but never element-validated; add an indexed or ranged check of %s in a validate function",
+				name, name)
+		}
+	}
+
+	// Count symmetry between the two decode paths, by assigned field.
+	for name, v := range c.viewCounts {
+		mk, ok := c.makeCounts[name]
+		if !ok || mk == v.count {
+			continue
+		}
+		pass.Reportf(v.pos,
+			"wire section %s: zero-copy element count %s does not match the copying fallback's %s",
+			name, v.count, mk)
+	}
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package offwire_test
+
+import (
+	"testing"
+
+	"pathsep/internal/analyzers/analyzertest"
+	"pathsep/internal/analyzers/offwire"
+)
+
+func TestOffWire(t *testing.T) {
+	analyzertest.Run(t, "testdata", offwire.Analyzer, "a")
+}

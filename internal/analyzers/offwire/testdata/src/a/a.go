@@ -1,0 +1,178 @@
+// Package a exercises the offwire analyzer: sections written by the
+// encoder must be decoded with the same record stride, widths, and
+// counts, and every decoded section needs an element-level check in a
+// validate function.
+package a
+
+import (
+	"encoding/binary"
+	"unsafe"
+)
+
+// sections is a wire layout struct: all-integer offsets.
+type sections struct {
+	recs    int
+	offs    int
+	extra   int
+	gone    int
+	phantom int
+	wid     int
+	cnt     int
+	fat     int
+	total   int
+}
+
+type rec struct {
+	a uint32
+	b uint16
+	c uint16
+}
+
+type blob struct {
+	recs  []rec
+	offs  []int32
+	extra []int32
+	wid   []int32
+	cnt   []int32
+	fat   []int64
+}
+
+func layout(nRecs, nOffs int) sections {
+	var s sections
+	s.recs = 64
+	s.offs = s.recs + 8*nRecs
+	s.extra = s.offs + 4*nOffs
+	s.gone = s.extra + 4*nOffs
+	s.phantom = s.gone + 4
+	s.wid = s.phantom + 4
+	s.cnt = s.wid + 4*nOffs
+	s.fat = s.cnt + 4*nOffs
+	s.total = s.fat + 4*nOffs
+	return s
+}
+
+func encode(b *blob, nRecs, nOffs int) []byte {
+	s := layout(nRecs, nOffs)
+	buf := make([]byte, s.total)
+	le := binary.LittleEndian
+	for i, r := range b.recs {
+		at := s.recs + 8*i
+		le.PutUint32(buf[at:], r.a)
+		le.PutUint16(buf[at+4:], r.b)
+		le.PutUint16(buf[at+6:], r.c)
+	}
+	for i, v := range b.offs {
+		le.PutUint32(buf[s.offs+4*i:], uint32(v))
+	}
+	for i, v := range b.extra {
+		le.PutUint32(buf[s.extra+4*i:], uint32(v))
+	}
+	le.PutUint32(buf[s.gone:], 7) // want `wire section gone is written by the encoder but never decoded`
+	for i, v := range b.wid {
+		le.PutUint32(buf[s.wid+4*i:], uint32(v))
+	}
+	for i, v := range b.cnt {
+		le.PutUint32(buf[s.cnt+4*i:], uint32(v))
+	}
+	for i, v := range b.fat {
+		le.PutUint32(buf[s.fat+4*i:], uint32(v))
+	}
+	return buf
+}
+
+func decode(buf []byte, nRecs, nOffs int) *blob {
+	s := layout(nRecs, nOffs)
+	le := binary.LittleEndian
+	b := &blob{}
+	// recs round-trips exactly, but validate below never element-checks
+	// it — only a len() test — so its first read site reports.
+	b.recs = make([]rec, nRecs)
+	for i := range b.recs {
+		at := s.recs + 8*i
+		b.recs[i] = rec{
+			a: le.Uint32(buf[at:]), // want `wire section recs is decoded but never element-validated; add an indexed or ranged check of recs in a validate function`
+			b: le.Uint16(buf[at+4:]),
+			c: le.Uint16(buf[at+6:]),
+		}
+	}
+	b.offs = make([]int32, nOffs)
+	for i := range b.offs {
+		b.offs[i] = int32(le.Uint32(buf[s.offs+4*i:]))
+	}
+	// extra: decoder reads 8-byte records where the encoder wrote 4-byte
+	// ones.
+	b.extra = make([]int32, nOffs)
+	for i := range b.extra {
+		b.extra[i] = int32(le.Uint64(buf[s.extra+8*i:])) // want `wire section extra: encoder writes 4-byte records but decoder reads 8-byte records`
+	}
+	// phantom: never written by the encoder.
+	_ = le.Uint32(buf[s.phantom:]) // want `wire section phantom is decoded but never written by the encoder`
+	// wid: same stride, but the decoder splits the word differently.
+	b.wid = make([]int32, nOffs)
+	for i := range b.wid {
+		lo := le.Uint16(buf[s.wid+4*i:]) // want `wire section wid: encoder writes \[4B@\+0\] per record but decoder reads \[2B@\+0 2B@\+2\]`
+		hi := le.Uint16(buf[s.wid+4*i+2:])
+		b.wid[i] = int32(uint32(lo) | uint32(hi)<<16)
+	}
+	return b
+}
+
+// decodeZero is the zero-copy path: views over the same sections.
+func decodeZero(buf []byte, nRecs, nOffs int) *blob {
+	s := layout(nRecs, nOffs)
+	b := &blob{}
+	b.offs = unsafe.Slice((*int32)(unsafe.Pointer(&buf[s.offs])), nOffs)
+	// cnt: the two decode paths disagree on the element count.
+	b.cnt = unsafe.Slice((*int32)(unsafe.Pointer(&buf[s.cnt])), nOffs+1) // want `wire section cnt: zero-copy element count nOffs \+ 1 does not match the copying fallback's nOffs`
+	// fat: the view element type is wider than the encoded records.
+	b.fat = unsafe.Slice((*int64)(unsafe.Pointer(&buf[s.fat])), nOffs/2) // want `wire section fat: zero-copy view elements are 8 bytes but encoder writes 4-byte records`
+	return b
+}
+
+// decodeCopyCnt is the copying fallback paired with decodeZero's views.
+func decodeCopyCnt(buf []byte, nOffs int) *blob {
+	s := layout(0, nOffs)
+	le := binary.LittleEndian
+	b := &blob{}
+	b.cnt = make([]int32, nOffs)
+	for i := range b.cnt {
+		b.cnt[i] = int32(le.Uint32(buf[s.cnt+4*i:]))
+	}
+	b.fat = make([]int64, nOffs/2)
+	for i := range b.fat {
+		b.fat[i] = int64(le.Uint32(buf[s.fat+4*i:]))
+	}
+	return b
+}
+
+// validate element-checks every section except recs, which gets only a
+// len() test.
+func validate(b *blob) bool {
+	if len(b.recs) == 0 {
+		return false
+	}
+	for i := range b.offs {
+		if b.offs[i] < 0 {
+			return false
+		}
+	}
+	for i := range b.extra {
+		if b.extra[i] < 0 {
+			return false
+		}
+	}
+	if len(b.wid) > 0 && b.wid[0] < 0 {
+		return false
+	}
+	for i := range b.cnt {
+		if b.cnt[i] < 0 {
+			return false
+		}
+	}
+	for i := range b.fat {
+		if b.fat[i] < 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -11,15 +11,19 @@
 // ssaflow function index):
 //
 //   - Sources: a direct `pool.Get()` call, or a call to a *getter
-//     wrapper* — a function in this package that itself calls Get and
-//     returns a value (serve's getPairs/getDists/getBytes shape). The
-//     assigned variable becomes an open buffer tied to that pool.
-//   - Sinks: a direct `pool.Put(v)` or a call to a *putter wrapper* (a
-//     function passing its parameter to Put). A deferred Put closes the
-//     buffer on every path out, including panics, and permits later
-//     uses (defers run last). A plain Put closes it from that point on:
-//     any later mention of the buffer is a use-after-Put — the pool may
-//     already have handed it to another goroutine.
+//     wrapper* — a function in this package whose result transitively
+//     derives from a Get, resolved through the interprocedural ssaflow
+//     summaries (ResultFlow), so the serve getPairs/getDists shape is
+//     recognized through any depth of in-package wrapping rather than
+//     by a hand-listed single-level scan. The assigned variable becomes
+//     an open buffer tied to the pool the terminal Get names.
+//   - Sinks: a direct `pool.Put(v)` or a call to a *putter wrapper* — a
+//     function one of whose parameters transitively reaches a Put
+//     (ParamFlow), again through any wrapper depth. A deferred Put
+//     closes the buffer on every path out, including panics, and
+//     permits later uses (defers run last). A plain Put closes it from
+//     that point on: any later mention of the buffer is a use-after-Put
+//     — the pool may already have handed it to another goroutine.
 //   - Ownership transfer: returning the buffer, storing it into a
 //     field/slice/map, sending it on a channel, or capturing it in a
 //     goroutine/function literal moves the obligation elsewhere; the
@@ -47,7 +51,6 @@ import (
 
 	"golang.org/x/tools/go/analysis"
 	"golang.org/x/tools/go/analysis/passes/inspect"
-	"golang.org/x/tools/go/ast/inspector"
 
 	"pathsep/internal/analyzers/ssaflow"
 )
@@ -114,67 +117,50 @@ type putter struct {
 	arg  int
 }
 
-// classify finds the package's pool wrappers: a getter calls Get and
-// returns a value; a putter passes one of its parameters (possibly by
-// address) to Put.
-func classify(pass *analysis.Pass) *wrappers {
-	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+// classify finds the package's pool wrappers from the interprocedural
+// summaries: a getter is any function one of whose results transitively
+// derives from a pool Get (ResultFlow resolves through in-package
+// wrappers of any depth); a putter is any function one of whose
+// parameters transitively reaches a pool Put (ParamFlow likewise).
+// There is no hand-listed single-level scan left — a wrapper around a
+// wrapper classifies exactly like the wrapper itself.
+func classify(pass *analysis.Pass, res *ssaflow.Result) *wrappers {
 	info := pass.TypesInfo
 	w := &wrappers{
 		getters: map[*types.Func]types.Object{},
 		putters: map[*types.Func]putter{},
 		exempt:  map[ast.Node]bool{},
 	}
-	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
-		fd := n.(*ast.FuncDecl)
-		if fd.Body == nil {
-			return
-		}
-		fn, ok := info.Defs[fd.Name].(*types.Func)
-		if !ok {
-			return
-		}
-		params := fn.Type().(*types.Signature).Params()
-		ast.Inspect(fd.Body, func(m ast.Node) bool {
-			call, ok := m.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			pool, method := poolCall(info, call)
-			if pool == nil {
-				return true
-			}
-			switch method {
-			case "Get":
-				if fn.Type().(*types.Signature).Results().Len() > 0 {
+	for fn := range res.Summaries {
+		s := res.Summaries[fn]
+		sig := fn.Type().(*types.Signature)
+		for j := 0; j < sig.Results().Len(); j++ {
+			for _, src := range res.ResultFlow(fn, j) {
+				if src.Call == nil {
+					continue
+				}
+				if pool, method := poolCall(info, src.Call); method == "Get" && pool != nil {
 					w.getters[fn] = pool
-					w.exempt[fd] = true
-				}
-			case "Put":
-				if len(call.Args) != 1 {
-					return true
-				}
-				arg := ast.Unparen(call.Args[0])
-				if u, ok := arg.(*ast.UnaryExpr); ok && u.Op == token.AND {
-					arg = ast.Unparen(u.X)
-				}
-				obj := ssaflow.BaseObject(info, arg)
-				for i := 0; i < params.Len(); i++ {
-					if params.At(i) == obj {
-						w.putters[fn] = putter{pool: pool, arg: i}
-						w.exempt[fd] = true
-					}
+					w.exempt[s.Decl] = true
 				}
 			}
-			return true
-		})
-	})
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			fl := res.ParamFlow(fn, i)
+			for _, use := range fl.Uses {
+				if pool, method := poolCall(info, use.Call); method == "Put" && pool != nil {
+					w.putters[fn] = putter{pool: pool, arg: i}
+					w.exempt[s.Decl] = true
+				}
+			}
+		}
+	}
 	return w
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
-	wr := classify(pass)
 	res := pass.ResultOf[ssaflow.Analyzer].(*ssaflow.Result)
+	wr := classify(pass, res)
 	for _, fn := range res.Funcs {
 		if wr.exempt[fn.Node] {
 			continue

@@ -161,3 +161,41 @@ func transferGo(s *server) {
 		s.putBuf(b)
 	}()
 }
+
+// Wrapper-of-wrapper shapes: getScratch wraps getBuf wraps bufs.Get, and
+// putScratch wraps putBuf wraps bufs.Put. The interprocedural summaries
+// classify both through the extra level — there is no single-level
+// recognizer to fall off of.
+func (s *server) getScratch(n int) []byte {
+	b := s.getBuf(n)
+	return b
+}
+
+func (s *server) putScratch(b []byte) {
+	s.putBuf(b[:0])
+}
+
+// clean: deep-wrapper Get paired with a deep-wrapper Put.
+func deepStraight(s *server) {
+	b := s.getScratch(8)
+	use(b)
+	s.putScratch(b)
+}
+
+// leak: a buffer from the two-level getter still owes a Put.
+func deepLeak(s *server, fail bool) error {
+	b := s.getScratch(8)
+	if fail {
+		return errFail // want `pool buffer b \(Get from bufs at .*\) leaks: control returns without a Put`
+	}
+	s.putScratch(b)
+	return nil
+}
+
+// use-after-Put through the deep putter: the release is a release no
+// matter how many wrappers deep the Put is.
+func deepUseAfterPut(s *server) {
+	b := s.getScratch(8)
+	s.putScratch(b)
+	use(b) // want `pool buffer b used after Put at .*; the pool may have handed it to another goroutine`
+}

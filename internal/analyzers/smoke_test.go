@@ -9,11 +9,13 @@ import (
 	"pathsep/internal/analyzers"
 )
 
-// TestAll checks the suite is stable: non-empty, unique names, docs set.
+// TestAll checks the suite is stable: the exact registered count (so a
+// dropped registration fails loudly, not silently), unique names, docs
+// set. Bump the count when registering a new analyzer.
 func TestAll(t *testing.T) {
 	all := analyzers.All()
-	if len(all) < 12 {
-		t.Fatalf("All() returned %d analyzers, want at least 12", len(all))
+	if len(all) != 15 {
+		t.Fatalf("All() returned %d analyzers, want exactly 15", len(all))
 	}
 	seen := map[string]bool{}
 	for _, a := range all {

@@ -55,6 +55,10 @@ type Result struct {
 	// analyzers walking statements should skip nested *ast.FuncLit nodes
 	// and rely on the literal's own entry.
 	Funcs []*Func
+	// Summaries holds the interprocedural per-function fact records for
+	// every declared function with a body (see summary.go). Clients use
+	// SummaryOf / ParamFlow / ResultFlow rather than reading this map.
+	Summaries map[*types.Func]*Summary
 }
 
 // Func is one analyzable function body.
@@ -83,6 +87,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			}
 		}
 	})
+	res.Summaries = summarize(pass.TypesInfo, res.Funcs)
 	return res, nil
 }
 

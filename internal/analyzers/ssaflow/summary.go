@@ -1,0 +1,701 @@
+// Interprocedural layer: per-function summaries and the package call
+// graph, the fragment of a bottom-up interprocedural analysis the
+// analyzers need to see through wrappers.
+//
+// The intraprocedural walks in poolleak/maporder/ctxdone stop at call
+// boundaries; every one of them used to carry its own single-level
+// wrapper recognizer (poolleak's getter/putter classifier, ctxdone's
+// argument-type heuristic). Summaries replace those: one pass over the
+// package records, per function,
+//
+//   - which call sites each parameter's value can reach (ParamUses),
+//     so "passes its buffer to sync.Pool.Put" or "sorts its argument"
+//     is visible through any chain of in-package calls;
+//   - whether a parameter escapes sideways (stored, sent, captured,
+//     launched in a goroutine, passed through a function value) — the
+//     ownership-transfer facts the path-sensitive walks key on;
+//   - what each result can be: an alias of a parameter ("derives alias
+//     of param") or the result of a call (pool.Get behind two wrapper
+//     levels resolves here);
+//   - whether len() of a parameter is consulted in a comparison
+//     ("validates offsets" — unsafeview accepts factored-out
+//     validation helpers through this bit);
+//   - whether the body contains a shutdown-tie construct (ctxdone's
+//     named-function case), and the body's statically resolved callees.
+//
+// Summaries are exported on the Result in the analysis.Fact style — a
+// self-contained record per function object, memoized once per package
+// and consumed by any requiring analyzer — but they live in the Result
+// rather than real Facts: the vendored unitchecker would serialize
+// facts fine, yet the analyzertest harness (and everything these
+// analyzers check) is package-local, so package-scope summaries keep
+// both drivers on one code path. ParamFlow and ResultFlow are the
+// transitive resolvers: they chase summary edges across in-package
+// calls (cycle-guarded, depth-capped) so clients ask "does this value
+// reach X" instead of re-implementing the closure.
+package ssaflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// maxFlowDepth caps transitive resolution; real wrapper chains are two
+// or three deep, and the cap turns call-graph cycles into conservative
+// truncation instead of nontermination.
+const maxFlowDepth = 16
+
+// ParamUse is one call site that (transitively) receives data flowing
+// from a parameter: the syntactic call, its resolved callee (nil for
+// calls through function values) and the argument position the data
+// occupies there.
+type ParamUse struct {
+	Call   *ast.CallExpr
+	Callee *types.Func
+	Arg    int
+}
+
+// ReturnSource describes one thing a function result can be: an alias
+// of parameter Param (when >= 0), or result Result of Call/Callee.
+type ReturnSource struct {
+	Param  int // >= 0: result may alias this parameter
+	Call   *ast.CallExpr
+	Callee *types.Func // nil for builtins and function values
+	Result int
+}
+
+// Summary is the per-function fact record. All maps are keyed by
+// parameter index (receiver excluded) or result index.
+type Summary struct {
+	// Fn is the summarized function object; Decl its declaration.
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	// ParamUses[i] lists the direct call sites receiving data derived
+	// from parameter i. Transitive reachability is ParamFlow's job.
+	ParamUses map[int][]ParamUse
+	// ParamSunk[i], when non-empty, is the reason parameter i's value
+	// escapes sideways: stored into a field/slot/global, sent on a
+	// channel, captured by a function literal, launched in a goroutine,
+	// or passed through a function value the resolver cannot follow.
+	ParamSunk map[int]string
+	// Returns[j] lists what result j can be (see ReturnSource).
+	Returns map[int][]ReturnSource
+	// Validates[i] reports that len(parameter i) is consulted in a
+	// comparison — the "validates offsets" bit.
+	Validates map[int]bool
+	// Tied reports a shutdown-tie construct in the body (a non-timer
+	// channel receive, ctx.Done, defer close, defer wg.Done).
+	Tied bool
+	// Callees is the set of statically resolved functions the body calls.
+	Callees map[*types.Func]bool
+
+	info   *types.Info
+	params map[types.Object]int
+	// locals maps each local variable to the sources its value may
+	// carry, computed to a fixpoint; ArgSources resolves call-site
+	// arguments against it during transitive result resolution.
+	locals map[types.Object][]ReturnSource
+}
+
+// SummaryOf returns fn's summary, or nil for functions outside the
+// package (or without a body).
+func (r *Result) SummaryOf(fn *types.Func) *Summary {
+	if fn == nil {
+		return nil
+	}
+	return r.Summaries[fn]
+}
+
+// summarize builds the whole package's summary table.
+func summarize(info *types.Info, funcs []*Func) map[*types.Func]*Summary {
+	out := make(map[*types.Func]*Summary)
+	for _, f := range funcs {
+		fd, ok := f.Node.(*ast.FuncDecl)
+		if !ok {
+			continue // literals are analyzed inline by their enclosing body
+		}
+		fn, ok := info.Defs[fd.Name].(*types.Func)
+		if !ok {
+			continue
+		}
+		s := &Summary{
+			Fn:        fn,
+			Decl:      fd,
+			ParamUses: map[int][]ParamUse{},
+			ParamSunk: map[int]string{},
+			Returns:   map[int][]ReturnSource{},
+			Validates: map[int]bool{},
+			Callees:   map[*types.Func]bool{},
+			info:      info,
+			params:    map[types.Object]int{},
+		}
+		sig := fn.Type().(*types.Signature)
+		for i := 0; i < sig.Params().Len(); i++ {
+			s.params[sig.Params().At(i)] = i
+		}
+		s.computeLocals(fd.Body)
+		s.computeFacts(fd.Body)
+		out[fn] = s
+	}
+	return out
+}
+
+// exprSources resolves the alias-preserving sources of e: the parameters
+// and calls whose value e may carry. Only shapes that preserve identity
+// are followed (idents, selectors, slicing, indexing, deref, address-of,
+// type assertions, calls); arithmetic produces fresh values and yields
+// nothing.
+func (s *Summary) exprSources(e ast.Expr) []ReturnSource {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.TypeAssertExpr:
+			e = x.X
+			continue
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+			continue
+		case *ast.CallExpr:
+			return []ReturnSource{{Param: -1, Call: x, Callee: CalleeFunc(s.info, x)}}
+		default:
+			obj := BaseObject(s.info, ast.Unparen(e))
+			if obj == nil {
+				return nil
+			}
+			if i, ok := s.params[obj]; ok {
+				return []ReturnSource{{Param: i}}
+			}
+			return s.locals[obj]
+		}
+	}
+}
+
+// addLocal merges srcs into obj's source set, reporting growth.
+func (s *Summary) addLocal(obj types.Object, srcs []ReturnSource) bool {
+	if obj == nil || len(srcs) == 0 {
+		return false
+	}
+	if _, isParam := s.params[obj]; isParam {
+		return false // a param reassigned keeps its param identity conservatively
+	}
+	grew := false
+	for _, src := range srcs {
+		dup := false
+		for _, have := range s.locals[obj] {
+			if have == src {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			if s.locals == nil {
+				s.locals = map[types.Object][]ReturnSource{}
+			}
+			s.locals[obj] = append(s.locals[obj], src)
+			grew = true
+		}
+	}
+	return grew
+}
+
+// computeLocals iterates the body's bindings to a fixpoint, building the
+// local variable → sources map (flow-insensitive union).
+func (s *Summary) computeLocals(body *ast.BlockStmt) {
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				changed = s.bindAssign(n) || changed
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					var rhs ast.Expr
+					if i < len(n.Values) {
+						rhs = n.Values[i]
+					} else if len(n.Values) == 1 {
+						rhs = n.Values[0]
+					}
+					if rhs != nil {
+						changed = s.addLocal(s.info.ObjectOf(name), s.exprSources(rhs)) || changed
+					}
+				}
+			case *ast.RangeStmt:
+				// The value variable aliases an element of the ranged
+				// container; for reference elements that keeps the
+				// dependence alive.
+				if n.Value != nil {
+					changed = s.addLocal(BaseObject(s.info, n.Value), s.exprSources(n.X)) || changed
+				}
+			}
+			return true
+		})
+	}
+}
+
+// bindAssign records one assignment's bindings.
+func (s *Summary) bindAssign(as *ast.AssignStmt) bool {
+	changed := false
+	switch {
+	case len(as.Lhs) == len(as.Rhs):
+		for i := range as.Lhs {
+			if id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok {
+				changed = s.addLocal(s.info.ObjectOf(id), s.exprSources(as.Rhs[i])) || changed
+			}
+		}
+	case len(as.Rhs) == 1:
+		// Tuple binding: a multi-result call hands result i to lhs i;
+		// a comma-ok form hands the value to lhs 0 only.
+		srcs := s.exprSources(as.Rhs[0])
+		for i := range as.Lhs {
+			id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			for _, src := range srcs {
+				src := src
+				if src.Call != nil {
+					if _, isCall := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); isCall {
+						src.Result = i
+					} else if i > 0 {
+						continue // comma-ok: the bool carries no value
+					}
+				} else if i > 0 {
+					continue
+				}
+				changed = s.addLocal(s.info.ObjectOf(id), []ReturnSource{src}) || changed
+			}
+		}
+	}
+	return changed
+}
+
+// carries reports whether e mentions parameter i or a local carrying it.
+func (s *Summary) carries(e ast.Expr, i int) bool {
+	return Mentions(s.info, e, func(o types.Object) bool {
+		if pi, ok := s.params[o]; ok && pi == i {
+			return true
+		}
+		for _, src := range s.locals[o] {
+			if src.Param == i {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// computeFacts walks the body once, recording param-flow edges, sink
+// reasons, returns, validation bits, the shutdown tie, and callees.
+func (s *Summary) computeFacts(body *ast.BlockStmt) {
+	nparams := len(s.params)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := CalleeFunc(s.info, n); fn != nil {
+				s.Callees[fn] = true
+			}
+			s.recordCall(n, nparams, "")
+		case *ast.GoStmt:
+			s.recordCall(n.Call, nparams, "launched in a goroutine")
+			return true
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if _, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					obj := BaseObject(s.info, lhs)
+					if _, local := s.locals[obj]; local {
+						continue
+					}
+					if obj != nil {
+						if _, isParam := s.params[obj]; isParam {
+							continue
+						}
+						if v, isVar := obj.(*types.Var); isVar && !DeclaredWithin(v, s.Decl) {
+							s.sinkMentioned(n.Rhs, "stored in a package-level variable")
+						}
+					}
+					continue
+				}
+				s.sinkMentioned(n.Rhs, "stored into a field, slot or map")
+			}
+		case *ast.SendStmt:
+			s.sinkMentioned([]ast.Expr{n.Value}, "sent on a channel")
+		case *ast.FuncLit:
+			for i := 0; i < nparams; i++ {
+				if s.ParamSunk[i] == "" && s.carries(n, i) {
+					s.ParamSunk[i] = "captured by a function literal"
+				}
+			}
+			return false
+		case *ast.ReturnStmt:
+			for j, res := range n.Results {
+				for _, src := range s.exprSources(res) {
+					dup := false
+					for _, have := range s.Returns[j] {
+						if have == src {
+							dup = true
+							break
+						}
+					}
+					if !dup {
+						s.Returns[j] = append(s.Returns[j], src)
+					}
+				}
+			}
+			if len(n.Results) == 1 {
+				// return f() of a multi-result callee spreads its results.
+				if call, ok := ast.Unparen(n.Results[0]).(*ast.CallExpr); ok {
+					if tv, ok := s.info.Types[call]; ok {
+						if tup, ok := tv.Type.(*types.Tuple); ok && tup.Len() > 1 {
+							callee := CalleeFunc(s.info, call)
+							for j := 1; j < tup.Len(); j++ {
+								s.Returns[j] = append(s.Returns[j], ReturnSource{Param: -1, Call: call, Callee: callee, Result: j})
+							}
+						}
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			if isComparison(n.Op) {
+				for i := 0; i < nparams; i++ {
+					if !s.Validates[i] && (lenOf(s, n.X, i) || lenOf(s, n.Y, i)) {
+						s.Validates[i] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	s.Tied = BodyTied(s.info, body)
+}
+
+// recordCall adds param-flow edges for one call's arguments; sunk, when
+// non-empty, marks the whole call as an ownership sink (go statements).
+func (s *Summary) recordCall(call *ast.CallExpr, nparams int, sunk string) {
+	callee := CalleeFunc(s.info, call)
+	if callee == nil {
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := s.info.Uses[id].(*types.Builtin); isBuiltin {
+				return // len/cap/append/... neither sink nor propagate here
+			}
+		}
+		if tv, ok := s.info.Types[call.Fun]; ok && tv.IsType() {
+			return // conversion, not a call
+		}
+	}
+	for argIdx, arg := range call.Args {
+		for i := 0; i < nparams; i++ {
+			if !s.carries(arg, i) {
+				continue
+			}
+			switch {
+			case sunk != "":
+				if s.ParamSunk[i] == "" {
+					s.ParamSunk[i] = sunk
+				}
+			case callee == nil:
+				if s.ParamSunk[i] == "" {
+					s.ParamSunk[i] = "passed through a function value"
+				}
+			default:
+				s.ParamUses[i] = append(s.ParamUses[i], ParamUse{Call: call, Callee: callee, Arg: argIdx})
+			}
+		}
+	}
+}
+
+// sinkMentioned marks every parameter mentioned by any of exprs as sunk.
+func (s *Summary) sinkMentioned(exprs []ast.Expr, why string) {
+	for _, pi := range s.params {
+		if s.ParamSunk[pi] != "" {
+			continue
+		}
+		for _, e := range exprs {
+			if s.carries(e, pi) {
+				s.ParamSunk[pi] = why
+				break
+			}
+		}
+	}
+}
+
+// ArgSources resolves argument k of a call appearing in this function's
+// body to its sources (used by ResultFlow to map callee params back into
+// the caller's frame).
+func (s *Summary) ArgSources(call *ast.CallExpr, k int) []ReturnSource {
+	if k < 0 || k >= len(call.Args) {
+		return nil
+	}
+	return s.exprSources(call.Args[k])
+}
+
+func isComparison(op token.Token) bool {
+	switch op {
+	case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+		return true
+	}
+	return false
+}
+
+// lenOf reports whether e contains len(x) where x carries parameter i.
+func lenOf(s *Summary, e ast.Expr, i int) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "len" || len(call.Args) != 1 {
+			return true
+		}
+		if _, isBuiltin := s.info.Uses[id].(*types.Builtin); !isBuiltin {
+			return true
+		}
+		if s.carries(call.Args[0], i) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// Flow is the transitive fate of one parameter's value: every call site
+// it may reach through chains of in-package calls, plus the sideways
+// escapes and validation observed anywhere along the way.
+type Flow struct {
+	// Uses lists every call site the value may reach, at any depth.
+	// In-package callees with summaries are both listed and descended
+	// into; everything else is terminal.
+	Uses []ParamUse
+	// Sunk, when non-empty, is the first sideways-escape reason seen.
+	Sunk string
+	// Returned reports that some function on the chain may return the
+	// value to its caller.
+	Returned bool
+	// Validated reports a len() comparison on the value somewhere.
+	Validated bool
+}
+
+// ParamFlow resolves the transitive fate of parameter arg of fn,
+// following summary edges across in-package calls.
+func (r *Result) ParamFlow(fn *types.Func, arg int) Flow {
+	var fl Flow
+	type key struct {
+		fn  *types.Func
+		arg int
+	}
+	seen := map[key]bool{}
+	var walk func(fn *types.Func, arg, depth int)
+	walk = func(fn *types.Func, arg, depth int) {
+		if depth > maxFlowDepth || seen[key{fn, arg}] {
+			return
+		}
+		seen[key{fn, arg}] = true
+		s := r.SummaryOf(fn)
+		if s == nil {
+			return
+		}
+		if why, ok := s.ParamSunk[arg]; ok && fl.Sunk == "" {
+			fl.Sunk = why
+		}
+		if s.Validates[arg] {
+			fl.Validated = true
+		}
+		for _, srcs := range s.Returns {
+			for _, src := range srcs {
+				if src.Param == arg {
+					fl.Returned = true
+				}
+			}
+		}
+		for _, use := range s.ParamUses[arg] {
+			fl.Uses = append(fl.Uses, use)
+			callee := use.Callee
+			cs := r.SummaryOf(callee)
+			if cs == nil {
+				continue
+			}
+			sig := callee.Type().(*types.Signature)
+			target := use.Arg
+			if target >= sig.Params().Len() {
+				if !sig.Variadic() || sig.Params().Len() == 0 {
+					continue
+				}
+				target = sig.Params().Len() - 1
+			}
+			walk(callee, target, depth+1)
+		}
+	}
+	walk(fn, arg, 0)
+	return fl
+}
+
+// ResultFlow resolves what result res of fn can terminally be: aliases
+// of fn's own parameters, and the terminal calls (out-of-package,
+// builtin, or unresolvable) the value may originate from. In-package
+// callee results are chased through their summaries, with callee
+// parameters mapped back through the call sites into the caller frames.
+func (r *Result) ResultFlow(fn *types.Func, res int) []ReturnSource {
+	root := r.SummaryOf(fn)
+	if root == nil {
+		return nil
+	}
+	type frame struct {
+		s      *Summary
+		call   *ast.CallExpr // the call that entered s, in parent's frame
+		parent *frame
+	}
+	var out []ReturnSource
+	type ck struct {
+		s   *Summary
+		res int
+	}
+	visited := map[ck]bool{}
+	var emit func(f *frame, src ReturnSource, depth int)
+	emit = func(f *frame, src ReturnSource, depth int) {
+		if depth > maxFlowDepth {
+			return
+		}
+		if src.Param >= 0 {
+			if f.parent == nil {
+				out = append(out, src)
+				return
+			}
+			for _, as := range f.parent.s.ArgSources(f.call, src.Param) {
+				emit(f.parent, as, depth+1)
+			}
+			return
+		}
+		cs := r.SummaryOf(src.Callee)
+		if cs == nil || visited[ck{cs, src.Result}] {
+			out = append(out, src)
+			return
+		}
+		visited[ck{cs, src.Result}] = true
+		srcs := cs.Returns[src.Result]
+		if len(srcs) == 0 {
+			out = append(out, src) // callee returns fresh values; keep the call as terminal
+			return
+		}
+		nf := &frame{s: cs, call: src.Call, parent: f}
+		for _, s2 := range srcs {
+			emit(nf, s2, depth+1)
+		}
+	}
+	rootFrame := &frame{s: root}
+	for _, src := range root.Returns[res] {
+		emit(rootFrame, src, 0)
+	}
+	return out
+}
+
+// BodyTied reports whether a function body contains a shutdown-tie
+// construct: a receive from a non-timer channel, a range over a channel,
+// a call to a context's Done method, or a deferred completion signal
+// (close(ch) / wg.Done()). This is ctxdone's tie test, shared here so
+// summaries can answer it for named functions.
+func BodyTied(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && IsChan(info.TypeOf(n.X)) && !isTimerChan(info, n.X) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if IsChan(info.TypeOf(n.X)) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" && IsContext(info.TypeOf(sel.X)) {
+				found = true
+			}
+		case *ast.DeferStmt:
+			if deferSignals(info, n.Call) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// deferSignals reports whether call, run deferred, announces completion:
+// close(ch) or wg.Done().
+func deferSignals(info *types.Info, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if _, isBuiltin := info.Uses[fun].(*types.Builtin); isBuiltin && fun.Name == "close" && len(call.Args) == 1 {
+			return IsChan(info.TypeOf(call.Args[0]))
+		}
+	case *ast.SelectorExpr:
+		if fun.Sel.Name == "Done" && IsWaitGroup(info.TypeOf(fun.X)) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsContext reports whether t is context.Context.
+func IsContext(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// IsWaitGroup reports whether t is sync.WaitGroup (or a pointer to one).
+func IsWaitGroup(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// IsChan reports whether t's underlying type is a channel.
+func IsChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// isTimerChan reports whether e is a time-package call or a selector of
+// a time type (After, Tick, NewTimer().C): timers are not shutdowns.
+func isTimerChan(info *types.Info, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		fn := CalleeFunc(info, x)
+		return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time"
+	case *ast.SelectorExpr:
+		if t := info.TypeOf(x.X); t != nil {
+			if p, ok := t.Underlying().(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if n, ok := t.(*types.Named); ok && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "time" {
+				return true
+			}
+		}
+	}
+	return false
+}

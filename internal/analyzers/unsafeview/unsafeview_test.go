@@ -1,0 +1,12 @@
+package unsafeview_test
+
+import (
+	"testing"
+
+	"pathsep/internal/analyzers/analyzertest"
+	"pathsep/internal/analyzers/unsafeview"
+)
+
+func TestUnsafeView(t *testing.T) {
+	analyzertest.Run(t, "testdata", unsafeview.Analyzer, "a")
+}

@@ -187,6 +187,13 @@ func alignedFloats(n int) []float64 {
 // scheduler's key shifts: the coarser of (entry-table bits − 16) and 6,
 // so a u-block names a ~64-entry portal region and both block numbers
 // fit their 16-bit key lanes.
+//
+// derive is the sanctioned writer of the lane views: it fills the
+// aligned arrays it just allocated, before the image is published.
+// The argumented directive does not opt it into hotalloc (it allocates
+// the lanes by design).
+//
+//pathsep:hotpath writes=views
 func (f *Flat) derive() {
 	f.lane = alignedFloats(3 * len(f.portals))
 	f.laneSum = alignedFloats(len(f.portals))

@@ -335,6 +335,22 @@ func (f *Flat) validate() error {
 			return fmt.Errorf("oracle: flat: entry %d references unknown key %d", e, f.entryKey[e])
 		}
 	}
+	// Element-level checks on the record sections, not just the CSR
+	// offsets that index them: an interned key must name a vertex of this
+	// graph, and portal records must be NaN-free — a NaN Pos or Dist
+	// would poison every min-fold the sweep lanes compute from them.
+	// +Inf stays legal: it is the unreachable sentinel some constructions
+	// store in Dist.
+	for i := range f.keys {
+		if int(f.keys[i].Node) < 0 || int(f.keys[i].Node) >= f.n {
+			return fmt.Errorf("oracle: flat: key %d names out-of-range vertex %d", i, f.keys[i].Node)
+		}
+	}
+	for i := range f.portals {
+		if math.IsNaN(f.portals[i].Pos) || math.IsNaN(f.portals[i].Dist) {
+			return fmt.Errorf("oracle: flat: portal record %d contains NaN", i)
+		}
+	}
 	if f.hasPathData {
 		return f.validatePaths()
 	}

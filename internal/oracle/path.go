@@ -39,6 +39,15 @@ func (o *Oracle) PathReporting() bool { return o.hasPathData }
 // path-reporting oracles).
 func (f *Flat) PathReporting() bool { return f.hasPathData }
 
+// NumHops returns the hop-chain section length (one record per portal
+// on v2 images); 0 on a distance-only image.
+func (f *Flat) NumHops() int { return len(f.hops) }
+
+// NumPathVerts returns the total separator-path geometry length across
+// all keys (the CSR payload shared by the path_vert and path_pos
+// sections); 0 on a distance-only image.
+func (f *Flat) NumPathVerts() int { return len(f.pathVert) }
+
 // pairMinArg is pairMin plus the argmin: the indices into a and b whose
 // combination achieved the returned minimum (-1, -1 when none did). The
 // candidate values and their fold order are exactly pairMin's, so the

@@ -78,11 +78,13 @@ type Status struct {
 	Metrics     obs.Snapshot  `json:"metrics"`
 }
 
-// status assembles the current Status document. Image metadata is read
-// off the current image without a lease: images are immutable after
-// publish, and status does not need to pin the generation it reports.
+// status assembles the current Status document. It takes a proper lease
+// on the image while reading its metadata: images are immutable after
+// publish, but holding the lease keeps the generation it reports from
+// draining out from under the reads mid-document.
 func (s *Server) status() Status {
-	im := s.img.Load()
+	im := s.acquire()
+	defer s.release(im)
 	st := Status{
 		Service:    "pathsepd",
 		PID:        os.Getpid(),
@@ -91,16 +93,16 @@ func (s *Server) status() Status {
 		Goroutines: runtime.NumGoroutine(),
 		UptimeSec:  time.Since(s.started).Seconds(),
 		Image: ImageStatus{
-			Source:     im.source,
-			Generation: im.gen,
-			LoadedAt:   im.loadedAt.UTC().Format(time.RFC3339Nano),
-			LoadNs:     im.loadNs,
-			Readers:    im.readers.Load(),
-			N:          im.flat.N(),
-			Eps:        im.flat.Eps(),
-			Mode:       im.flat.Mode().String(),
-			NumKeys:    im.flat.NumKeys(),
-			NumEntries: im.flat.NumEntries(),
+			Source:          im.source,
+			Generation:      im.gen,
+			LoadedAt:        im.loadedAt.UTC().Format(time.RFC3339Nano),
+			LoadNs:          im.loadNs,
+			Readers:         im.readers.Load() - 1, // exclude status's own lease
+			N:               im.flat.N(),
+			Eps:             im.flat.Eps(),
+			Mode:            im.flat.Mode().String(),
+			NumKeys:         im.flat.NumKeys(),
+			NumEntries:      im.flat.NumEntries(),
 			NumPortals:      im.flat.NumPortals(),
 			Bytes:           im.bytes,
 			PortalPoolBytes: 16 * im.flat.NumPortals(),

@@ -8,6 +8,8 @@ import (
 	"math"
 	"math/rand"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -299,5 +301,76 @@ func TestSwapHammer(t *testing.T) {
 	}
 	if st.Serving.ReloadErrors != 0 {
 		t.Fatalf("%d reload errors under the hammer", st.Serving.ReloadErrors)
+	}
+}
+
+// TestReloadRaceHTTPAndSIGHUP races the two reload front doors — POST
+// /admin/reload and the SIGHUP path (ReloadFromFile, exactly what
+// cmd/pathsepd's signal handler calls) — against each other from the
+// same starting generation. reloadMu must serialize them: every reload
+// gets a unique, gap-free generation, Previous always names the
+// generation it replaced, and the reloads counter counts each swap
+// exactly once. Run under -race (make check does) this also proves the
+// decode/publish/drain sequence is data-race-free across both doors.
+func TestReloadRaceHTTPAndSIGHUP(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{Source: "test:gen1"})
+	img := altFlat(t).Encode()
+	path := filepath.Join(t.TempDir(), "image.bin")
+	if err := os.WriteFile(path, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds = 6
+	var wg sync.WaitGroup
+	results := make(chan ReloadResult, 2*rounds)
+	for i := 0; i < rounds; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			res, code := postReload(t, ts.URL, img)
+			if code != http.StatusOK {
+				t.Errorf("HTTP reload status %d, want 200", code)
+				return
+			}
+			results <- res
+		}()
+		go func() {
+			defer wg.Done()
+			res, err := s.ReloadFromFile(path)
+			if err != nil {
+				t.Errorf("SIGHUP reload: %v", err)
+				return
+			}
+			results <- res
+		}()
+	}
+	wg.Wait()
+	close(results)
+
+	gens := map[uint64]bool{}
+	for res := range results {
+		if gens[res.Generation] {
+			t.Errorf("generation %d issued twice", res.Generation)
+		}
+		gens[res.Generation] = true
+		if res.Previous != res.Generation-1 {
+			t.Errorf("generation %d reports previous %d, want %d",
+				res.Generation, res.Previous, res.Generation-1)
+		}
+	}
+	// Gap-free: generations 2..2*rounds+1, each exactly once.
+	for g := uint64(2); g <= 2*rounds+1; g++ {
+		if !gens[g] {
+			t.Errorf("generation %d never issued", g)
+		}
+	}
+	if got := s.reloads.Value(); got != 2*rounds {
+		t.Errorf("reloads counter = %d, want %d (no double-counting)", got, 2*rounds)
+	}
+	if errs := s.reloadErrs.Value(); errs != 0 {
+		t.Errorf("reload_errors = %d, want 0", errs)
+	}
+	if gen := s.status().Image.Generation; gen != 2*rounds+1 {
+		t.Errorf("final generation %d, want %d", gen, 2*rounds+1)
 	}
 }
